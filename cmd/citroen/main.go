@@ -1,0 +1,107 @@
+// Command citroen tunes the compiler phase ordering of a benchmark program
+// with the CITROEN Bayesian-optimisation search and prints the best
+// per-module pass sequences.
+//
+// Usage:
+//
+//	citroen -list
+//	citroen -bench telecom_gsm -budget 100 -platform arm
+//	citroen -bench 525.x264_r -budget 150 -adaptive=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available benchmarks")
+		name     = flag.String("bench", "telecom_gsm", "benchmark to tune")
+		budget   = flag.Int("budget", 100, "runtime measurements")
+		seed     = flag.Int64("seed", 1, "random seed")
+		platform = flag.String("platform", "arm", "arm or x86")
+		adaptive = flag.Bool("adaptive", true, "adaptive multi-module budget allocation")
+		lambda   = flag.Int("lambda", 9, "candidate compilations per iteration")
+		feature  = flag.String("feature", "stats", "cost-model features: stats|autophase|tokenmix|rawseq")
+		verbose  = flag.Bool("v", false, "print the measurement trace")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("cBench-like suite:")
+		for _, b := range bench.CBench() {
+			fmt.Printf("  %-22s modules: %s\n", b.Name, strings.Join(b.ModuleNames(), ", "))
+		}
+		fmt.Println("SPEC-like suite:")
+		for _, b := range bench.SPEC() {
+			fmt.Printf("  %-22s modules: %s\n", b.Name, strings.Join(b.ModuleNames(), ", "))
+		}
+		return
+	}
+
+	b := bench.ByName(*name)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+	plat := bench.ARM()
+	if *platform == "x86" {
+		plat = bench.X86()
+	}
+	fmt.Printf("Building %s and measuring the -O3 baseline on %s...\n", b.Name, plat.Prof.Name)
+	ev, err := bench.NewEvaluator(b, plat, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("-O3 baseline: %.0f cycles\n", ev.O3Time())
+
+	opts := core.DefaultOptions()
+	opts.Budget = *budget
+	opts.Adaptive = *adaptive
+	opts.Lambda = *lambda
+	switch *feature {
+	case "autophase":
+		opts.Feature = core.FeatAutophase
+	case "tokenmix":
+		opts.Feature = core.FeatTokenMix
+	case "rawseq":
+		opts.Feature = core.FeatRawSeq
+	}
+
+	res, err := core.NewTuner(ev.Task(), opts, *seed).Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nHot modules: %v\n", res.HotModules)
+	if *verbose {
+		for _, tp := range res.Trace {
+			fmt.Printf("  meas %3d  module %-14s speedup %.3fx  best %.3fx\n",
+				tp.Measurement, tp.Module, tp.Speedup, tp.BestSpeedup)
+		}
+	}
+	fmt.Printf("\nBest speedup over -O3: %.3fx (time %.0f cycles)\n", res.BestSpeedup, res.BestTime)
+	fmt.Printf("Measurements: %d (saved by dedup: %d), compilations: %d\n",
+		res.Breakdown.Measures, res.SavedMeasurements, res.Breakdown.Compiles)
+	fmt.Printf("Per-module budget: %v\n", res.ModuleBudget)
+	for mod, seq := range res.BestSeqs {
+		fmt.Printf("\nBest sequence for %s (%d passes):\n  %s\n", mod, len(seq), strings.Join(seq, ","))
+	}
+	if len(res.Importance) > 0 {
+		fmt.Println("\nTop cost-model statistics (ARD relevance):")
+		for i, imp := range res.Importance {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("  %-52s %.3f\n", imp.Name, imp.Relevance)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run tab5.1
+//	experiments -run fig5.6 -budget 100 -repeats 3 -platform x86
+//	experiments -run all -budget 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "experiment id to run (or 'all')")
+		budget   = flag.Int("budget", 30, "runtime-measurement budget per tuning run")
+		repeats  = flag.Int("repeats", 1, "independent seeds to average")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		platform = flag.String("platform", "arm", "simulated platform: arm or x86")
+		benchCSV = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		scale    = flag.Float64("scale", 1, "problem-size scale for synthetic experiments")
+		paper    = flag.Bool("paper", false, "use paper-scale defaults (budget 100, 3 repeats)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Desc)
+		}
+		if *run == "" {
+			fmt.Println("\nRun one with: experiments -run <id>")
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig(os.Stdout)
+	if *paper {
+		cfg = experiments.PaperConfig(os.Stdout)
+	}
+	cfg.Budget = *budget
+	cfg.Repeats = *repeats
+	cfg.Seed = *seed
+	cfg.Platform = *platform
+	cfg.Scale = *scale
+	if *benchCSV != "" {
+		cfg.Benchmarks = strings.Split(*benchCSV, ",")
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = ids[:0]
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e := experiments.ByID(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("==================== %s ====================\n", e.ID)
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

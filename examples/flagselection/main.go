@@ -1,0 +1,79 @@
+// Flagselection: the Chapter-4 compiler flag selection task — each distinct
+// pass of the -O3 pipeline becomes a binary flag, and continuous AIBO
+// searches the [0,1]^d relaxation (values >= 0.5 enable the flag), exactly
+// as in §4.2.2.
+//
+//	go run ./examples/flagselection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/aibo"
+	"repro/internal/bench"
+	"repro/internal/heuristic"
+	"repro/internal/passes"
+)
+
+func main() {
+	ev, err := bench.NewEvaluator(bench.ByName("telecom_gsm"), bench.ARM(), 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline := passes.O3Sequence()
+	var flags []string
+	seen := map[string]bool{}
+	for _, p := range pipeline {
+		if !seen[p] {
+			seen[p] = true
+			flags = append(flags, p)
+		}
+	}
+	idx := map[string]int{}
+	for i, f := range flags {
+		idx[f] = i
+	}
+	fmt.Printf("%d binary flags over the O3 pipeline\n", len(flags))
+
+	objective := func(x []float64) float64 {
+		var seq []string
+		for _, p := range pipeline {
+			if x[idx[p]] >= 0.5 {
+				seq = append(seq, p)
+			}
+		}
+		seqs := map[string][]string{}
+		for _, m := range ev.Modules() {
+			seqs[m] = seq
+		}
+		t, _, err := ev.Measure(seqs)
+		if err != nil {
+			return 10 // differential-test failure: heavily penalised
+		}
+		return t / ev.O3Time()
+	}
+
+	box := make(heuristic.Bounds, len(flags))
+	for i := range box {
+		box[i] = [2]float64{0, 1}
+	}
+	opts := aibo.DefaultOptions()
+	opts.InitSamples = 15
+	opts.RawCandidates = 120
+	opts.GPOpts.AdamSteps = 25
+	opts.RefitEvery = 3
+
+	res, err := aibo.Minimize(objective, box, 60, opts, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best relative runtime %.4f (%.3fx speedup over full -O3)\n", res.BestY, 1/res.BestY)
+	var disabled []string
+	for i, f := range flags {
+		if res.BestX[i] < 0.5 {
+			disabled = append(disabled, f)
+		}
+	}
+	fmt.Printf("flags disabled by the best configuration (%d): %v\n", len(disabled), disabled)
+}

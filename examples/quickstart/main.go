@@ -1,0 +1,41 @@
+// Quickstart: tune the compiler phase ordering of a single benchmark with
+// CITROEN and print the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	// 1. Pick a benchmark and a simulated platform.
+	b := bench.ByName("telecom_gsm")
+	ev, err := bench.NewEvaluator(b, bench.ARM(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s, -O3 baseline %.0f cycles\n", b.Name, ev.O3Time())
+
+	// 2. Configure CITROEN: 40 runtime measurements.
+	opts := core.DefaultOptions()
+	opts.Budget = 40
+
+	// 3. Run the tuner against the benchmark's Task adapter.
+	res, err := core.NewTuner(ev.Task(), opts, 42).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	fmt.Printf("best speedup over -O3: %.3fx after %d measurements (%d compilations)\n",
+		res.BestSpeedup, res.Breakdown.Measures, res.Breakdown.Compiles)
+	for mod, seq := range res.BestSeqs {
+		fmt.Printf("module %s: %s\n", mod, strings.Join(seq, ","))
+	}
+}

@@ -1,0 +1,442 @@
+// Package bench defines the benchmark programs used in the evaluation — a
+// cBench-like suite of small-to-medium single-purpose programs and a
+// SPEC-CPU-like suite of larger multi-module programs (Table 5.4) — plus the
+// compile/measure/differential-test harness the tuners drive.
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/machine"
+	"repro/internal/passes"
+)
+
+// Benchmark is one program: a set of module specs plus a generated main.
+type Benchmark struct {
+	Name  string
+	Suite string // "cbench" or "spec"
+	Specs []irgen.ModuleSpec
+}
+
+// ModuleNames lists the benchmark's compilation units (excluding main).
+func (b *Benchmark) ModuleNames() []string {
+	out := make([]string, len(b.Specs))
+	for i, s := range b.Specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Build generates the benchmark's modules for the given dataset (different
+// datasets perturb global data, mirroring cBench's multiple inputs). The
+// main module is last. Target sets the SIMD width the vectorisers model.
+func (b *Benchmark) Build(dataset int, vecWidth64 int) []*ir.Module {
+	var mods []*ir.Module
+	for _, spec := range b.Specs {
+		s := spec
+		s.Seed = dataSeed(b.Name, spec.Name, dataset)
+		m := irgen.BuildModule(s)
+		m.TargetVecWidth64 = vecWidth64
+		mods = append(mods, m)
+	}
+	mm := irgen.BuildMain(b.Name, b.ModuleNames())
+	mm.TargetVecWidth64 = vecWidth64
+	mods = append(mods, mm)
+	return mods
+}
+
+func dataSeed(bench, mod string, dataset int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s/%d", bench, mod, dataset)
+	return int64(h.Sum64() & 0x7FFFFFFFFFFF)
+}
+
+func ks(kind irgen.KernelKind, size, reps, unroll int, pred ir.CmpPred) irgen.KernelSpec {
+	return irgen.KernelSpec{Kind: kind, Size: size, Reps: reps, Unroll: unroll, ExitPred: pred}
+}
+
+// CBench returns the cBench-like suite (Table 5.4): small programs named
+// after their cBench counterparts, each with 1-3 modules.
+func CBench() []*Benchmark {
+	return []*Benchmark{
+		{Name: "telecom_gsm", Suite: "cbench", Specs: []irgen.ModuleSpec{
+			{Name: "long_term", Kernels: []irgen.KernelSpec{
+				ks(irgen.DotProduct, 96, 3, 8, ir.CmpSLT),
+				ks(irgen.MinMaxReduce, 64, 1, 0, ir.CmpNE),
+			}},
+			{Name: "short_term", Kernels: []irgen.KernelSpec{
+				ks(irgen.FIR, 48, 2, 0, ir.CmpSLE),
+				ks(irgen.PrefixSum, 64, 1, 0, ir.CmpSLT),
+			}},
+		}},
+		{Name: "automotive_susan", Suite: "cbench", Specs: []irgen.ModuleSpec{
+			{Name: "susan", Kernels: []irgen.KernelSpec{
+				ks(irgen.Stencil, 128, 2, 0, ir.CmpSLT),
+				ks(irgen.Histogram, 96, 2, 0, ir.CmpNE),
+			}},
+		}},
+		{Name: "automotive_bitcount", Suite: "cbench", Specs: []irgen.ModuleSpec{
+			{Name: "bitcnt", Kernels: []irgen.KernelSpec{
+				ks(irgen.CRC, 128, 3, 0, ir.CmpSLT),
+				ks(irgen.StateMachine, 96, 2, 0, ir.CmpSLE),
+			}},
+		}},
+		{Name: "security_sha", Suite: "cbench", Specs: []irgen.ModuleSpec{
+			{Name: "sha", Kernels: []irgen.KernelSpec{
+				ks(irgen.CRC, 96, 2, 0, ir.CmpNE),
+				ks(irgen.PrefixSum, 96, 2, 0, ir.CmpSLT),
+				ks(irgen.CopyFill, 64, 1, 0, ir.CmpSLT),
+			}},
+		}},
+		{Name: "office_stringsearch", Suite: "cbench", Specs: []irgen.ModuleSpec{
+			{Name: "search", Kernels: []irgen.KernelSpec{
+				ks(irgen.CompareBlocks, 96, 3, 0, ir.CmpSLT),
+				ks(irgen.StateMachine, 64, 1, 0, ir.CmpSLT),
+			}},
+		}},
+		{Name: "network_dijkstra", Suite: "cbench", Specs: []irgen.ModuleSpec{
+			{Name: "dijkstra", Kernels: []irgen.KernelSpec{
+				ks(irgen.MinMaxReduce, 96, 3, 0, ir.CmpSLT),
+				ks(irgen.Histogram, 64, 2, 0, ir.CmpSLT),
+				ks(irgen.PrefixSum, 64, 1, 0, ir.CmpSLE),
+			}},
+		}},
+		{Name: "telecom_adpcm", Suite: "cbench", Specs: []irgen.ModuleSpec{
+			{Name: "adpcm", Kernels: []irgen.KernelSpec{
+				ks(irgen.DotProduct, 64, 2, 4, ir.CmpNE),
+				ks(irgen.StateMachine, 96, 2, 0, ir.CmpSLT),
+			}},
+		}},
+		{Name: "consumer_jpeg", Suite: "cbench", Specs: []irgen.ModuleSpec{
+			{Name: "jdct", Kernels: []irgen.KernelSpec{
+				ks(irgen.MatMul, 12, 2, 0, ir.CmpSLT),
+				ks(irgen.Stencil, 96, 1, 0, ir.CmpSLE),
+			}},
+			{Name: "jquant", Kernels: []irgen.KernelSpec{
+				ks(irgen.Histogram, 96, 2, 0, ir.CmpSLT),
+			}},
+		}},
+		{Name: "bzip2d", Suite: "cbench", Specs: []irgen.ModuleSpec{
+			{Name: "decompress", Kernels: []irgen.KernelSpec{
+				ks(irgen.InsertionSort, 40, 2, 0, ir.CmpSLT),
+				ks(irgen.Histogram, 96, 1, 0, ir.CmpSLT),
+				ks(irgen.CopyFill, 96, 1, 0, ir.CmpNE),
+			}},
+		}},
+		{Name: "consumer_lame", Suite: "cbench", Specs: []irgen.ModuleSpec{
+			{Name: "psymodel", Kernels: []irgen.KernelSpec{
+				ks(irgen.FloatNorm, 96, 2, 0, ir.CmpSLT),
+				ks(irgen.Polynomial, 64, 2, 0, ir.CmpSLT),
+			}},
+			{Name: "quantize", Kernels: []irgen.KernelSpec{
+				ks(irgen.DotProduct, 64, 1, 4, ir.CmpSLT),
+				ks(irgen.TailRecur, 48, 1, 0, ir.CmpSLT),
+			}},
+		}},
+	}
+}
+
+// SPEC returns the SPEC-CPU-2017-like suite: larger multi-module programs
+// with skewed hot-module distributions.
+func SPEC() []*Benchmark {
+	return []*Benchmark{
+		{Name: "505.mcf_r", Suite: "spec", Specs: []irgen.ModuleSpec{
+			{Name: "pbeampp", Kernels: []irgen.KernelSpec{
+				ks(irgen.MinMaxReduce, 160, 3, 0, ir.CmpSLT),
+				ks(irgen.PrefixSum, 128, 2, 0, ir.CmpSLT),
+			}},
+			{Name: "implicit", Kernels: []irgen.KernelSpec{
+				ks(irgen.Histogram, 128, 2, 0, ir.CmpNE),
+			}},
+			{Name: "mcfutil", Kernels: []irgen.KernelSpec{
+				ks(irgen.CopyFill, 96, 1, 0, ir.CmpSLT),
+			}},
+		}},
+		{Name: "525.x264_r", Suite: "spec", Specs: []irgen.ModuleSpec{
+			{Name: "pixel", Kernels: []irgen.KernelSpec{
+				ks(irgen.DotProduct, 128, 3, 8, ir.CmpSLT),
+				ks(irgen.CompareBlocks, 96, 2, 0, ir.CmpSLT),
+			}},
+			{Name: "dct", Kernels: []irgen.KernelSpec{
+				ks(irgen.MatMul, 12, 2, 0, ir.CmpSLT),
+				ks(irgen.Stencil, 128, 2, 0, ir.CmpSLE),
+			}},
+			{Name: "me", Kernels: []irgen.KernelSpec{
+				ks(irgen.MinMaxReduce, 128, 2, 0, ir.CmpSLT),
+			}},
+			{Name: "cabac", Kernels: []irgen.KernelSpec{
+				ks(irgen.StateMachine, 128, 2, 0, ir.CmpSLT),
+				ks(irgen.CRC, 96, 1, 0, ir.CmpSLT),
+			}},
+		}},
+		{Name: "557.xz_r", Suite: "spec", Specs: []irgen.ModuleSpec{
+			{Name: "lzma_dec", Kernels: []irgen.KernelSpec{
+				ks(irgen.StateMachine, 160, 3, 0, ir.CmpSLT),
+				ks(irgen.PrefixSum, 128, 2, 0, ir.CmpSLT),
+			}},
+			{Name: "crc_mod", Kernels: []irgen.KernelSpec{
+				ks(irgen.CRC, 128, 2, 0, ir.CmpNE),
+			}},
+			{Name: "buf_util", Kernels: []irgen.KernelSpec{
+				ks(irgen.CopyFill, 128, 1, 0, ir.CmpSLT),
+				ks(irgen.CompareBlocks, 64, 1, 0, ir.CmpSLT),
+			}},
+		}},
+		{Name: "519.lbm_r", Suite: "spec", Specs: []irgen.ModuleSpec{
+			{Name: "lbm_core", Kernels: []irgen.KernelSpec{
+				ks(irgen.Stencil, 192, 3, 0, ir.CmpSLT),
+				ks(irgen.FloatNorm, 128, 2, 0, ir.CmpSLT),
+			}},
+			{Name: "lbm_aux", Kernels: []irgen.KernelSpec{
+				ks(irgen.Polynomial, 96, 1, 0, ir.CmpSLT),
+			}},
+		}},
+		{Name: "531.deepsjeng_r", Suite: "spec", Specs: []irgen.ModuleSpec{
+			{Name: "search_eng", Kernels: []irgen.KernelSpec{
+				ks(irgen.InsertionSort, 44, 2, 0, ir.CmpSLT),
+				ks(irgen.MinMaxReduce, 128, 2, 0, ir.CmpSLT),
+			}},
+			{Name: "evaluate", Kernels: []irgen.KernelSpec{
+				ks(irgen.DotProduct, 96, 2, 4, ir.CmpSLE),
+				ks(irgen.Histogram, 96, 1, 0, ir.CmpSLT),
+			}},
+			{Name: "ttable", Kernels: []irgen.KernelSpec{
+				ks(irgen.CRC, 96, 1, 0, ir.CmpSLT),
+			}},
+		}},
+	}
+}
+
+// ByName finds a benchmark in either suite.
+func ByName(name string) *Benchmark {
+	for _, b := range append(CBench(), SPEC()...) {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// --- Evaluation harness ---
+
+// Platform bundles the simulated machine and its measurement noise.
+type Platform struct {
+	Prof     machine.Profile
+	NoiseStd float64
+}
+
+// ARM and X86 are the two evaluation platforms (§5.4.2).
+func ARM() Platform { return Platform{Prof: machine.CortexA57(), NoiseStd: 0.006} }
+func X86() Platform { return Platform{Prof: machine.Zen3(), NoiseStd: 0.004} }
+
+// Evaluator compiles benchmark modules under pass sequences and measures the
+// result, implementing the compile→stats→profile→differential-test cycle.
+type Evaluator struct {
+	Bench    *Benchmark
+	Plat     Platform
+	Datasets int
+	Runs     int // timing repetitions per measurement
+	meas     *machine.Measurement
+	pristine [][]*ir.Module // per dataset
+	refOut   [][]machine.OutputEvent
+	o3Time   float64
+	o3Stats  passes.Stats
+
+	// Counters for Fig 5.12-style accounting.
+	Compilations int
+	Measurements int
+}
+
+// NewEvaluator builds the evaluator and its -O3 baseline.
+func NewEvaluator(b *Benchmark, plat Platform, seed int64) (*Evaluator, error) {
+	ev := &Evaluator{
+		Bench: b, Plat: plat, Datasets: 2, Runs: 3,
+		meas: machine.NewMeasurement(machine.New(plat.Prof), plat.NoiseStd, seed),
+	}
+	for ds := 0; ds < ev.Datasets; ds++ {
+		mods := b.Build(ds, plat.Prof.VecWidth64)
+		for _, m := range mods {
+			if err := ir.Verify(m); err != nil {
+				return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+			}
+		}
+		ev.pristine = append(ev.pristine, mods)
+		// Reference outputs from unoptimised builds (ground truth).
+		img, err := machine.Link(cloneAll(mods)...)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ev.meas.Machine.Run(img, "main")
+		if err != nil {
+			return nil, err
+		}
+		ev.refOut = append(ev.refOut, res.Output)
+	}
+	// O3 baseline time.
+	t, st, err := ev.timeWithSequences(nil)
+	if err != nil {
+		return nil, err
+	}
+	ev.o3Time, ev.o3Stats = t, st
+	return ev, nil
+}
+
+func cloneAll(mods []*ir.Module) []*ir.Module {
+	out := make([]*ir.Module, len(mods))
+	for i, m := range mods {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// O3Time returns the baseline runtime (median cycles at -O3).
+func (ev *Evaluator) O3Time() float64 { return ev.o3Time }
+
+// O3Stats returns the compilation statistics of the -O3 build.
+func (ev *Evaluator) O3Stats() passes.Stats { return ev.o3Stats }
+
+// Modules returns the module names (excluding main).
+func (ev *Evaluator) Modules() []string { return ev.Bench.ModuleNames() }
+
+// CompileModule applies seq (nil = O3) to a fresh copy of the named module
+// (dataset 0) and returns it with its compilation statistics. This is the
+// cheap stats-extraction step: no execution happens.
+func (ev *Evaluator) CompileModule(name string, seq []string) (*ir.Module, passes.Stats, error) {
+	ev.Compilations++
+	for _, m := range ev.pristine[0] {
+		if m.Name != name {
+			continue
+		}
+		c := m.Clone()
+		st := passes.Stats{}
+		var err error
+		if seq == nil {
+			err = passes.ApplyLevel(c, "O3", st)
+		} else {
+			err = passes.Apply(c, seq, st, false)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, st, nil
+	}
+	return nil, nil, fmt.Errorf("bench: unknown module %q", name)
+}
+
+// timeWithSequences builds every dataset with the per-module sequences
+// (nil map entry or nil map = O3), differential-tests outputs and returns
+// the median runtime of dataset 0 plus the build's statistics.
+func (ev *Evaluator) timeWithSequences(seqs map[string][]string) (float64, passes.Stats, error) {
+	stats := passes.Stats{}
+	var t0 float64
+	for ds := 0; ds < ev.Datasets; ds++ {
+		mods := cloneAll(ev.pristine[ds])
+		for _, m := range mods {
+			seq, ok := seqs[m.Name]
+			var err error
+			st := passes.Stats{}
+			if !ok || seq == nil {
+				err = passes.ApplyLevel(m, "O3", st)
+			} else {
+				err = passes.Apply(m, seq, st, false)
+			}
+			if err != nil {
+				return 0, nil, err
+			}
+			if ds == 0 {
+				stats.Merge(st)
+			}
+		}
+		img, err := machine.Link(mods...)
+		if err != nil {
+			return 0, nil, err
+		}
+		ev.Measurements++
+		t, res, err := ev.meas.TimeMedian(img, "main", ev.Runs)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Differential testing against the unoptimised reference.
+		if err := machine.OutputsMatch(ev.refOut[ds], res.Output, 1e-6); err != nil {
+			return 0, nil, fmt.Errorf("bench: differential test failed: %w", err)
+		}
+		if ds == 0 {
+			t0 = t
+		}
+	}
+	return t0, stats, nil
+}
+
+// Measure times the program with per-module sequences, differential-testing
+// the result. The returned speedup is O3time/time (higher is better).
+func (ev *Evaluator) Measure(seqs map[string][]string) (timeCycles, speedup float64, err error) {
+	t, _, err := ev.timeWithSequences(seqs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t, ev.o3Time / t, nil
+}
+
+// HotModules profiles the -O3 build and returns modules sorted by their
+// share of execution time, keeping those that cumulatively cover `coverage`
+// (e.g. 0.9, per §5.3.1).
+func (ev *Evaluator) HotModules(coverage float64) ([]string, map[string]float64, error) {
+	mods := cloneAll(ev.pristine[0])
+	funcMod := map[string]string{}
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			if !f.IsDecl {
+				funcMod[f.Name] = m.Name
+			}
+		}
+		if err := passes.ApplyLevel(m, "O3", passes.Stats{}); err != nil {
+			return nil, nil, err
+		}
+	}
+	img, err := machine.Link(mods...)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := ev.meas.Machine.Run(img, "main")
+	if err != nil {
+		return nil, nil, err
+	}
+	byMod := map[string]float64{}
+	total := 0.0
+	mainName := ev.Bench.Name + "_main"
+	for fn, c := range res.FuncCycles {
+		mod := funcMod[fn]
+		if mod == "" || mod == mainName {
+			continue
+		}
+		byMod[mod] += c
+		total += c
+	}
+	if total == 0 {
+		return ev.Modules(), byMod, nil
+	}
+	names := ev.Modules()
+	// Sort by share, descending.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && byMod[names[j]] > byMod[names[j-1]]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	frac := map[string]float64{}
+	for m, c := range byMod {
+		frac[m] = c / total
+	}
+	var hot []string
+	acc := 0.0
+	for _, n := range names {
+		hot = append(hot, n)
+		acc += frac[n]
+		if acc >= coverage {
+			break
+		}
+	}
+	return hot, frac, nil
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/passes"
+)
+
+func TestSuitesWellFormed(t *testing.T) {
+	cb, sp := CBench(), SPEC()
+	if len(cb) < 8 {
+		t.Fatalf("cBench suite too small: %d", len(cb))
+	}
+	if len(sp) < 4 {
+		t.Fatalf("SPEC suite too small: %d", len(sp))
+	}
+	seen := map[string]bool{}
+	for _, b := range append(cb, sp...) {
+		if seen[b.Name] {
+			t.Fatalf("duplicate benchmark %s", b.Name)
+		}
+		seen[b.Name] = true
+		if len(b.Specs) == 0 {
+			t.Fatalf("%s has no modules", b.Name)
+		}
+		mods := b.Build(0, 2)
+		if len(mods) != len(b.Specs)+1 {
+			t.Fatalf("%s: build returned %d modules", b.Name, len(mods))
+		}
+	}
+	if ByName("telecom_gsm") == nil || ByName("nope") != nil {
+		t.Fatal("ByName broken")
+	}
+}
+
+func TestEvaluatorBaselineAndMeasure(t *testing.T) {
+	ev, err := NewEvaluator(ByName("telecom_gsm"), ARM(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.O3Time() <= 0 {
+		t.Fatal("no baseline time")
+	}
+	if len(ev.O3Stats()) == 0 {
+		t.Fatal("no baseline stats")
+	}
+	// Measuring the O3 build again gives speedup ~1.
+	_, sp, err := ev.Measure(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 0.95 || sp > 1.05 {
+		t.Fatalf("O3-vs-O3 speedup = %v, want ~1", sp)
+	}
+	// A bad sequence (just dce) must be slower than O3.
+	_, spBad, err := ev.Measure(map[string][]string{
+		"long_term": {"dce"}, "short_term": {"dce"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spBad >= 1 {
+		t.Fatalf("un-optimised build should not beat O3: %v", spBad)
+	}
+}
+
+func TestEvaluatorDifferentialTestingCatchesNothingAtO3(t *testing.T) {
+	for _, b := range CBench()[:4] {
+		ev, err := NewEvaluator(b, X86(), 2)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if _, _, err := ev.Measure(nil); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestCompileModuleStats(t *testing.T) {
+	ev, err := NewEvaluator(ByName("telecom_gsm"), ARM(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := ev.CompileModule("long_term", []string{"mem2reg", "slp-vectorizer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["SLP.NumVectorInstructions"] == 0 {
+		t.Fatalf("the telecom_gsm long_term kernel must SLP-vectorise after mem2reg (paper Fig 5.1): %v", st)
+	}
+	_, stBlocked, err := ev.CompileModule("long_term", []string{"mem2reg", "instcombine", "slp-vectorizer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stBlocked["SLP.NumVectorInstructions"] != 0 {
+		t.Fatalf("instcombine between mem2reg and slp must block SLP on ARM: %v", stBlocked)
+	}
+	if ev.Compilations != 2 {
+		t.Fatalf("compilations = %d", ev.Compilations)
+	}
+}
+
+func TestHotModules(t *testing.T) {
+	ev, err := NewEvaluator(ByName("525.x264_r"), ARM(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, frac, err := ev.HotModules(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) == 0 || len(hot) > len(ev.Modules()) {
+		t.Fatalf("hot modules = %v", hot)
+	}
+	total := 0.0
+	for _, f := range frac {
+		total += f
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("fractions sum to %v", total)
+	}
+	// Hot list must be sorted by share.
+	for i := 1; i < len(hot); i++ {
+		if frac[hot[i]] > frac[hot[i-1]]+1e-9 {
+			t.Fatalf("hot modules not sorted: %v (%v)", hot, frac)
+		}
+	}
+}
+
+func TestPerModuleSequencesBeatUniformSometimes(t *testing.T) {
+	// Sanity: applying the known-good SLP ordering to long_term must at
+	// least match O3 (which also vectorises); the point is it must not
+	// crash and must run through differential testing.
+	ev, err := NewEvaluator(ByName("telecom_gsm"), ARM(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []string{"inferattrs", "inline", "mem2reg", "early-cse", "simplifycfg",
+		"loop-simplify", "loop-rotate", "indvars", "licm", "loop-unroll",
+		"slp-vectorizer", "gvn", "adce", "simplifycfg"}
+	_, sp, err := ev.Measure(map[string][]string{"long_term": seq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 0.5 {
+		t.Fatalf("custom sequence catastrophically slow: %v", sp)
+	}
+}
+
+func TestO3BeatsO0OnEveryBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, b := range append(CBench(), SPEC()...) {
+		ev, err := NewEvaluator(b, ARM(), 6)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		// Compare O3 time to an O0 (empty-sequence) build.
+		seqs := map[string][]string{}
+		for _, m := range ev.Modules() {
+			seqs[m] = []string{}
+		}
+		tO0, _, err := ev.Measure(seqs)
+		_ = tO0
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		_, spO0, _ := ev.Measure(seqs)
+		if spO0 >= 1 {
+			t.Errorf("%s: O0 build at least as fast as O3 (speedup %v)", b.Name, spO0)
+		}
+	}
+	_ = passes.Names
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tuners"
+)
+
+// TestCitroenBeatsRandomHeadToHead is the repository's end-to-end claim
+// check (Fig 5.6's shape at reduced scale): at an equal measurement budget,
+// CITROEN finds faster binaries than random search on the paper's motivating
+// benchmark, averaged over two seeds.
+func TestCitroenBeatsRandomHeadToHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	budget := 25
+	var cit, rnd float64
+	for _, seed := range []int64{1, 2} {
+		ev, err := NewEvaluator(ByName("telecom_gsm"), ARM(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.DefaultOptions()
+		opts.Budget = budget
+		res, err := core.NewTuner(ev.Task(), opts, seed).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cit += res.BestSpeedup
+
+		ev2, err := NewEvaluator(ByName("telecom_gsm"), ARM(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := tuners.Random{}.Tune(ev2.Task(), budget, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd += rr.BestSpeedup
+	}
+	t.Logf("avg speedup over 2 seeds: CITROEN %.3f, Random %.3f", cit/2, rnd/2)
+	if cit <= rnd {
+		t.Fatalf("CITROEN (%.3f) did not beat random search (%.3f) at budget %d", cit/2, rnd/2, budget)
+	}
+	// Both must at least roughly match -O3 (they search around it).
+	if cit/2 < 0.95 {
+		t.Fatalf("CITROEN fell below the -O3 baseline: %.3f", cit/2)
+	}
+}
+
+// TestCitroenAdaptiveOnMultiModule checks the multi-module path end to end:
+// the tuner must distribute budget across hot modules and never crash on a
+// SPEC-like program.
+func TestCitroenAdaptiveOnMultiModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	ev, err := NewEvaluator(ByName("505.mcf_r"), X86(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Budget = 18
+	res, err := core.NewTuner(ev.Task(), opts, 3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HotModules) == 0 {
+		t.Fatal("no hot modules")
+	}
+	total := 0
+	for _, n := range res.ModuleBudget {
+		total += n
+	}
+	if total == 0 || total > opts.Budget {
+		t.Fatalf("module budget bookkeeping wrong: %v", res.ModuleBudget)
+	}
+	if res.BestSpeedup < 0.9 {
+		t.Fatalf("tuning regressed far below O3: %v", res.BestSpeedup)
+	}
+}

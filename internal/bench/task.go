@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// Task adapts the evaluator to the core.Task interface that CITROEN and the
+// baseline tuners drive.
+func (ev *Evaluator) Task() core.Task {
+	return &core.BenchTask{
+		ModulesFn: ev.Modules,
+		CompileFn: func(mod string, seq []string) (*ir.Module, passes.Stats, error) {
+			return ev.CompileModule(mod, seq)
+		},
+		MeasureFn: func(seqs map[string][]string) (float64, error) {
+			t, _, err := ev.Measure(seqs)
+			return t, err
+		},
+		BaselineFn: ev.O3Time,
+		HotFn: func(coverage float64) ([]string, error) {
+			hot, _, err := ev.HotModules(coverage)
+			return hot, err
+		},
+	}
+}

@@ -1,0 +1,601 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/acq"
+	"repro/internal/gp"
+	"repro/internal/heuristic"
+	"repro/internal/passes"
+)
+
+// Options configure the CITROEN tuner.
+type Options struct {
+	// Budget is the number of runtime measurements (the paper's search
+	// budget unit, §5.4.5).
+	Budget int
+	// Lambda is the number of candidate sequences compiled per module per
+	// iteration (split across the generator portfolio).
+	Lambda int
+	// Vocab is the pass vocabulary; nil means all 76 registered passes.
+	Vocab []string
+	// SeqMin/SeqMax bound candidate sequence lengths (paper: up to 120).
+	SeqMin, SeqMax int
+	// Beta is the UCB exploration weight.
+	Beta float64
+	// Feature selects the model's input representation (Fig 5.9).
+	Feature FeatureKind
+	// CoverageAF enables the coverage-aware acquisition terms (§5.3.4).
+	CoverageAF bool
+	// CoverageGamma and DupPenalty parameterise the coverage terms.
+	CoverageGamma float64
+	DupPenalty    float64
+	// HeuristicInit enables the DES/GA generators; false degenerates to
+	// random candidate generation (the ablation of Fig 5.8).
+	HeuristicInit bool
+	// HotCoverage selects hot modules covering this runtime fraction.
+	HotCoverage float64
+	// Adaptive enables cross-module adaptive budget allocation; false uses
+	// round-robin over hot modules.
+	Adaptive bool
+	// InitRandom is the number of random configurations measured before the
+	// model-guided phase.
+	InitRandom int
+	// RefitEvery controls GP hyperparameter refits.
+	RefitEvery int
+	GPOpts     gp.Options
+	// SeedSequences inject known-good pass sequences (e.g. the winners of a
+	// previous program's tuning run) into every module's heuristic
+	// generators — the paper's §6.3.2 program-independent pass-correlation
+	// transfer. They cost no budget until selected.
+	SeedSequences [][]string
+}
+
+// DefaultOptions mirror the paper's setup.
+func DefaultOptions() Options {
+	g := gp.DefaultOptions()
+	g.AdamSteps = 40
+	g.Restarts = 1
+	return Options{
+		Budget: 100, Lambda: 9,
+		SeqMin: 8, SeqMax: 120,
+		Beta:    1.96,
+		Feature: FeatStats, CoverageAF: true, CoverageGamma: 0.3, DupPenalty: 100,
+		HeuristicInit: true, HotCoverage: 0.9, Adaptive: true,
+		InitRandom: 6, RefitEvery: 5, GPOpts: g,
+	}
+}
+
+// TracePoint records one runtime measurement.
+type TracePoint struct {
+	Measurement int
+	Module      string
+	Time        float64
+	Speedup     float64 // baseline/time
+	BestSpeedup float64
+}
+
+// StatImportance ranks a feature dimension by ARD relevance (Table 5.5).
+type StatImportance struct {
+	Name      string
+	Relevance float64 // 1/length-scale, higher = more impactful
+}
+
+// RuntimeBreakdown records where wall-clock time went (Fig 5.12).
+type RuntimeBreakdown struct {
+	GPFit    time.Duration
+	AcqMax   time.Duration // candidate generation + compilation + scoring
+	Compile  time.Duration
+	Measure  time.Duration
+	Total    time.Duration
+	Measures int
+	Compiles int
+}
+
+// Result is the tuning outcome.
+type Result struct {
+	BestSeqs    map[string][]string
+	BestTime    float64
+	BestSpeedup float64
+	Trace       []TracePoint
+	// SavedMeasurements counts duplicate-statistics candidates whose
+	// profiling was skipped (Table 5.2).
+	SavedMeasurements int
+	// NovelSelections counts selected candidates that activated previously
+	// unseen statistics dimensions.
+	NovelSelections int
+	// CandidateDupRate is the fraction of compiled candidates whose feature
+	// vector duplicated an already-observed one (Table 5.2).
+	CandidateDupRate float64
+	ModuleBudget     map[string]int
+	Importance       []StatImportance
+	Breakdown        RuntimeBreakdown
+	HotModules       []string
+}
+
+// moduleState carries per-module tuning state.
+type moduleState struct {
+	name     string
+	gens     []heuristic.SeqOptimizer
+	des      *heuristic.DES
+	bestSeq  []int
+	bestFeat sparseVec
+	bestY    float64
+	baseFeat sparseVec // -O3 features
+}
+
+// Tuner runs CITROEN on a Task.
+type Tuner struct {
+	task Task
+	opts Options
+	rng  *rand.Rand
+
+	vocab   []string
+	vIndex  map[string]int
+	space   heuristic.SeqSpace
+	fi      *FeatureIndex
+	seen    map[string]bool
+	modIdx  map[string]*moduleState
+	mods    []*moduleState
+	X       [][]float64
+	Y       []float64
+	measCut map[string]float64 // program feature key -> measured y
+	model   *gp.GP
+	base    float64
+	res     *Result
+
+	candsCompiled int
+	candsDup      int
+}
+
+// NewTuner prepares a tuner.
+func NewTuner(task Task, opts Options, seed int64) *Tuner {
+	vocab := opts.Vocab
+	if vocab == nil {
+		vocab = passes.Names()
+	}
+	vi := map[string]int{}
+	for i, v := range vocab {
+		vi[v] = i
+	}
+	return &Tuner{
+		task: task, opts: opts, rng: rand.New(rand.NewSource(seed)),
+		vocab: vocab, vIndex: vi,
+		space:   heuristic.SeqSpace{Vocab: len(vocab), MinLen: opts.SeqMin, MaxLen: opts.SeqMax},
+		fi:      NewFeatureIndex(),
+		seen:    map[string]bool{},
+		modIdx:  map[string]*moduleState{},
+		measCut: map[string]float64{},
+	}
+}
+
+func (t *Tuner) seqStrings(seq []int) []string {
+	out := make([]string, len(seq))
+	for i, g := range seq {
+		out[i] = t.vocab[g]
+	}
+	return out
+}
+
+func (t *Tuner) seqIndices(seq []string) []int {
+	var out []int
+	for _, p := range seq {
+		if i, ok := t.vIndex[p]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Run executes the tuning loop.
+func (t *Tuner) Run() (*Result, error) {
+	start := time.Now()
+	t.res = &Result{BestSeqs: map[string][]string{}, ModuleBudget: map[string]int{}}
+	t.base = t.task.BaselineTime()
+	if t.base <= 0 {
+		return nil, errors.New("core: baseline time must be positive")
+	}
+
+	hot, err := t.task.HotModules(t.opts.HotCoverage)
+	if err != nil {
+		return nil, err
+	}
+	if len(hot) == 0 {
+		hot = t.task.Modules()
+	}
+	t.res.HotModules = hot
+
+	// Per-module state: O3 baseline features, generator portfolios.
+	o3Indices := t.seqIndices(passes.O3Sequence())
+	for _, name := range hot {
+		m, st, err := t.task.CompileModule(name, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline compile of %s: %w", name, err)
+		}
+		ms := &moduleState{
+			name:     name,
+			bestY:    1.0,
+			baseFeat: extract(t.opts.Feature, m, st, passes.O3Sequence()),
+		}
+		ms.bestFeat = ms.baseFeat
+		ms.bestSeq = nil // nil = O3
+		seed := t.rng.Int63()
+		if t.opts.HeuristicInit {
+			des := heuristic.NewDES(t.space, rand.New(rand.NewSource(seed)))
+			if len(o3Indices) > 0 {
+				des.Seed(clampSeq(o3Indices, t.space), 1.0)
+			}
+			ms.des = des
+			ms.gens = []heuristic.SeqOptimizer{
+				des,
+				heuristic.NewSeqGA(t.space, 24, rand.New(rand.NewSource(seed+1))),
+				&heuristic.SeqRandom{Space: t.space, Rng: rand.New(rand.NewSource(seed + 2))},
+			}
+		} else {
+			ms.gens = []heuristic.SeqOptimizer{
+				&heuristic.SeqRandom{Space: t.space, Rng: rand.New(rand.NewSource(seed + 2))},
+			}
+		}
+		ms.bestFeat.markSeen(t.seen, name+"|")
+		t.modIdx[name] = ms
+		t.mods = append(t.mods, ms)
+	}
+
+	// Observation 0: the -O3 configuration itself.
+	t.recordObservation(t.programFeatures(nil), 1.0)
+
+	// Cross-program transfer: measure the seed sequences first (they embody
+	// program-independent pass correlations, §6.3.2).
+	used := 0
+	for _, seedSeq := range t.opts.SeedSequences {
+		if used >= t.opts.Budget {
+			break
+		}
+		idx := clampSeq(t.seqIndices(seedSeq), t.space)
+		for _, ms := range t.mods {
+			if used >= t.opts.Budget {
+				break
+			}
+			if t.measureCandidate(ms, idx, nil) {
+				used++
+			}
+		}
+	}
+
+	// Initial random configurations (consume budget).
+	for i := 0; i < t.opts.InitRandom && used < t.opts.Budget; i++ {
+		ms := t.mods[i%len(t.mods)]
+		seq := t.space.Sample(t.rng)
+		if t.measureCandidate(ms, seq, nil) {
+			used++
+		}
+	}
+
+	// Model-guided loop.
+	maxIters := t.opts.Budget * 6
+	for iter := 0; used < t.opts.Budget && iter < maxIters; iter++ {
+		if err := t.fitModel(iter); err != nil {
+			return nil, err
+		}
+		sel, selFeat, ok := t.proposeCandidate()
+		if !ok {
+			// Nothing compiled successfully this round; fall back to random.
+			ms := t.mods[t.rng.Intn(len(t.mods))]
+			if t.measureCandidate(ms, t.space.Sample(t.rng), nil) {
+				used++
+			}
+			continue
+		}
+		if t.measureCandidate(sel.ms, sel.seq, selFeat) {
+			used++
+		}
+	}
+
+	t.finalize(start)
+	return t.res, nil
+}
+
+func clampSeq(seq []int, sp heuristic.SeqSpace) []int {
+	out := append([]int(nil), seq...)
+	if len(out) > sp.MaxLen {
+		out = out[:sp.MaxLen]
+	}
+	for len(out) < sp.MinLen {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// programFeatures concatenates per-module features with override for one
+// module (override nil = use each module's current best).
+func (t *Tuner) programFeatures(override map[string]sparseVec) map[string]sparseVec {
+	out := map[string]sparseVec{}
+	for _, ms := range t.mods {
+		if override != nil {
+			if v, ok := override[ms.name]; ok {
+				out[ms.name] = v
+				continue
+			}
+		}
+		out[ms.name] = ms.bestFeat
+	}
+	return out
+}
+
+// denseProgram materialises concatenated program features.
+func (t *Tuner) denseProgram(fv map[string]sparseVec) []float64 {
+	// Register all dims first so every vector has the final width.
+	for _, ms := range t.mods {
+		for k := range fv[ms.name] {
+			t.fi.slotFor(ms.name + "|" + k)
+		}
+	}
+	out := make([]float64, t.fi.Dim())
+	for _, ms := range t.mods {
+		for k, v := range fv[ms.name] {
+			out[t.fi.slot[ms.name+"|"+k]] = v
+		}
+	}
+	return out
+}
+
+func (t *Tuner) programKey(fv map[string]sparseVec) string {
+	key := ""
+	for _, ms := range t.mods {
+		key += ms.name + "{" + fv[ms.name].key() + "}"
+	}
+	return key
+}
+
+// recordObservation appends a training point (re-densifying existing rows
+// when new dimensions appeared).
+func (t *Tuner) recordObservation(fv map[string]sparseVec, y float64) {
+	x := t.denseProgram(fv)
+	// Pad earlier rows to the new width.
+	d := t.fi.Dim()
+	for i, row := range t.X {
+		if len(row) < d {
+			nr := make([]float64, d)
+			copy(nr, row)
+			t.X[i] = nr
+		}
+	}
+	t.X = append(t.X, x)
+	t.Y = append(t.Y, y)
+	for _, ms := range t.mods {
+		fv[ms.name].markSeen(t.seen, ms.name+"|")
+	}
+	t.measCut[t.programKey(fv)] = y
+}
+
+// fitModel (re)fits the GP on the observations.
+func (t *Tuner) fitModel(iter int) error {
+	if len(t.Y) < 2 {
+		return nil
+	}
+	tStart := time.Now()
+	o := t.opts.GPOpts
+	if t.model != nil && len(t.model.LS) == t.fi.Dim() {
+		o.WarmLS, o.WarmSigF, o.WarmNoise = t.model.LS, t.model.SigF, t.model.Noise
+	}
+	if t.opts.RefitEvery > 1 && iter%t.opts.RefitEvery != 0 && t.model != nil {
+		o.AdamSteps = 0
+		o.Restarts = 1
+	}
+	m, err := gp.Fit(t.X, t.Y, o, t.rng)
+	if err != nil {
+		return fmt.Errorf("core: GP fit: %w", err)
+	}
+	t.model = m
+	t.res.Breakdown.GPFit += time.Since(tStart)
+	return nil
+}
+
+type candidate struct {
+	ms  *moduleState
+	seq []int
+	af  float64
+	fv  sparseVec
+	dup bool
+}
+
+// proposeCandidate generates, compiles and scores candidates for the target
+// modules and returns the acquisition argmax.
+func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
+	tAcq := time.Now()
+	defer func() { t.res.Breakdown.AcqMax += time.Since(tAcq) }()
+
+	targets := t.mods
+	if !t.opts.Adaptive {
+		// Round-robin on the measurement count.
+		targets = []*moduleState{t.mods[len(t.Y)%len(t.mods)]}
+	}
+	bestY := t.bestObservedY()
+	cfg := acq.Config{Kind: acq.UCB, Beta: t.opts.Beta}
+	if t.model != nil {
+		cfg.Best = t.model.TransformY(bestY)
+	}
+	cov := acq.Coverage{Base: cfg, Gamma: t.opts.CoverageGamma, DupPenalty: t.opts.DupPenalty}
+
+	best := candidate{af: math.Inf(-1)}
+	var bestFV map[string]sparseVec
+	for _, ms := range targets {
+		per := t.opts.Lambda / len(ms.gens)
+		if per < 1 {
+			per = 1
+		}
+		for _, gen := range ms.gens {
+			for _, seq := range gen.Ask(per) {
+				fv, ok := t.compileCandidate(ms, seq)
+				if !ok {
+					continue
+				}
+				prog := t.programFeatures(map[string]sparseVec{ms.name: fv})
+				dup := false
+				if _, seenBefore := t.measCut[t.programKey(prog)]; seenBefore {
+					dup = true
+					t.candsDup++
+				}
+				var af float64
+				if t.model == nil {
+					af = t.rng.Float64()
+				} else {
+					x := t.denseProgram(prog)
+					mu, sig := t.predictPadded(x)
+					af = cfg.FromPosterior(mu, sig)
+				}
+				if t.opts.CoverageAF {
+					af = cov.Score(af, fv.novelDims(t.seen, ms.name+"|"), dup)
+				}
+				if af > best.af {
+					best = candidate{ms: ms, seq: seq, af: af, fv: fv, dup: dup}
+					bestFV = prog
+				}
+			}
+		}
+	}
+	if best.ms == nil {
+		return candidate{}, nil, false
+	}
+	if best.fv.novelDims(t.seen, best.ms.name+"|") > 0 {
+		t.res.NovelSelections++
+	}
+	return best, bestFV, true
+}
+
+// predictPadded evaluates the model at x even when the model was trained at
+// a lower dimensionality (new feature dims appeared since the last fit).
+func (t *Tuner) predictPadded(x []float64) (float64, float64) {
+	d := len(t.model.LS)
+	if len(x) > d {
+		x = x[:d]
+	} else if len(x) < d {
+		nx := make([]float64, d)
+		copy(nx, x)
+		x = nx
+	}
+	return t.model.PredictTransformed(x)
+}
+
+func (t *Tuner) bestObservedY() float64 {
+	best := math.Inf(1)
+	for _, y := range t.Y {
+		if y < best {
+			best = y
+		}
+	}
+	return best
+}
+
+// compileCandidate compiles seq for ms's module and extracts features.
+func (t *Tuner) compileCandidate(ms *moduleState, seq []int) (sparseVec, bool) {
+	tc := time.Now()
+	defer func() { t.res.Breakdown.Compile += time.Since(tc) }()
+	t.candsCompiled++
+	t.res.Breakdown.Compiles++
+	m, st, err := t.task.CompileModule(ms.name, t.seqStrings(seq))
+	if err != nil {
+		return nil, false
+	}
+	return extract(t.opts.Feature, m, st, t.seqStrings(seq)), true
+}
+
+// measureCandidate profiles the program with ms's module rebuilt under seq.
+// It returns true when a real measurement consumed budget (false for
+// duplicate reuse or failed builds).
+func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]sparseVec) bool {
+	fv := knownFV
+	if fv == nil {
+		cf, ok := t.compileCandidate(ms, seq)
+		if !ok {
+			return false
+		}
+		fv = t.programFeatures(map[string]sparseVec{ms.name: cf})
+	}
+	key := t.programKey(fv)
+	if y, dup := t.measCut[key]; dup {
+		// Identical statistics across all modules: the binary is (modelled
+		// as) identical; reuse the measurement (§5.2: avoid profiling
+		// sequences that cannot change the outcome).
+		t.res.SavedMeasurements++
+		t.tellGenerators(ms, seq, y)
+		return false
+	}
+	seqs := t.currentSequences()
+	seqs[ms.name] = t.seqStrings(seq)
+	tm := time.Now()
+	timeC, err := t.task.Measure(seqs)
+	t.res.Breakdown.Measure += time.Since(tm)
+	if err != nil {
+		// Differential-test failure or build error: discard, penalise.
+		t.tellGenerators(ms, seq, 10)
+		return false
+	}
+	t.res.Breakdown.Measures++
+	y := timeC / t.base
+	t.recordObservation(fv, y)
+	t.tellGenerators(ms, seq, y)
+	t.res.ModuleBudget[ms.name]++
+	sp := t.base / timeC
+	if y < ms.bestY {
+		ms.bestY = y
+		ms.bestSeq = append([]int(nil), seq...)
+		ms.bestFeat = fv[ms.name]
+	}
+	bestSoFar := t.base / (t.bestObservedY() * t.base)
+	t.res.Trace = append(t.res.Trace, TracePoint{
+		Measurement: len(t.res.Trace) + 1,
+		Module:      ms.name,
+		Time:        timeC,
+		Speedup:     sp,
+		BestSpeedup: bestSoFar,
+	})
+	return true
+}
+
+func (t *Tuner) tellGenerators(ms *moduleState, seq []int, y float64) {
+	for _, g := range ms.gens {
+		g.Tell(seq, y)
+	}
+}
+
+// currentSequences returns the incumbent per-module sequences.
+func (t *Tuner) currentSequences() map[string][]string {
+	out := map[string][]string{}
+	for _, ms := range t.mods {
+		if ms.bestSeq != nil {
+			out[ms.name] = t.seqStrings(ms.bestSeq)
+		}
+	}
+	return out
+}
+
+// finalize fills the result summary.
+func (t *Tuner) finalize(start time.Time) {
+	t.res.BestSeqs = t.currentSequences()
+	bestY := t.bestObservedY()
+	t.res.BestTime = bestY * t.base
+	t.res.BestSpeedup = 1 / bestY
+	if t.candsCompiled > 0 {
+		t.res.CandidateDupRate = float64(t.candsDup) / float64(t.candsCompiled)
+	}
+	t.res.Breakdown.Total = time.Since(start)
+	// ARD relevance ranking (Table 5.5).
+	if t.model != nil {
+		names := t.fi.Names()
+		for i, ls := range t.model.LS {
+			if i >= len(names) {
+				break
+			}
+			t.res.Importance = append(t.res.Importance, StatImportance{Name: names[i], Relevance: 1 / ls})
+		}
+		sort.Slice(t.res.Importance, func(i, j int) bool {
+			return t.res.Importance[i].Relevance > t.res.Importance[j].Relevance
+		})
+	}
+}

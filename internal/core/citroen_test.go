@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// syntheticTask is an in-memory Task over a tiny real benchmark-like module:
+// it compiles the paper's dot-product kernel and returns noisy cycle counts
+// from a static cost proxy, keeping core's unit tests independent of the
+// bench package (which imports core).
+type syntheticTask struct {
+	build    func() *ir.Module
+	baseline float64
+	measures int
+	compiles int
+}
+
+func newSyntheticTask(t *testing.T) *syntheticTask {
+	st := &syntheticTask{build: buildDotModule}
+	y, err := st.cost(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.baseline = y
+	return st
+}
+
+// cost compiles with the sequence and returns a static cost: weighted
+// instruction count with vector ops discounted (a stand-in for execution).
+func (s *syntheticTask) cost(seq []string) (float64, error) {
+	m := s.build()
+	m.TargetVecWidth64 = 2
+	var err error
+	if seq == nil {
+		err = passes.ApplyLevel(m, "O3", passes.Stats{})
+	} else {
+		err = passes.Apply(m, seq, passes.Stats{}, false)
+	}
+	if err != nil {
+		return 0, err
+	}
+	cost := 0.0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch {
+				case in.Op == ir.OpLoad && in.Ty.IsVector():
+					cost += 1.5
+				case in.Op == ir.OpLoad:
+					cost += 4
+				case in.Op == ir.OpMul:
+					cost += 3
+				default:
+					cost++
+				}
+			}
+		}
+	}
+	return cost + 10, nil
+}
+
+func (s *syntheticTask) Modules() []string { return []string{"mod"} }
+
+func (s *syntheticTask) CompileModule(mod string, seq []string) (*ir.Module, passes.Stats, error) {
+	s.compiles++
+	m := s.build()
+	m.TargetVecWidth64 = 2
+	st := passes.Stats{}
+	var err error
+	if seq == nil {
+		err = passes.ApplyLevel(m, "O3", st)
+	} else {
+		err = passes.Apply(m, seq, st, false)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, st, nil
+}
+
+func (s *syntheticTask) Measure(seqs map[string][]string) (float64, error) {
+	s.measures++
+	return s.cost(seqs["mod"])
+}
+
+func (s *syntheticTask) BaselineTime() float64 { return s.baseline }
+
+func (s *syntheticTask) HotModules(float64) ([]string, error) { return []string{"mod"}, nil }
+
+// buildDotModule mirrors the paper's Fig 5.1 kernel.
+func buildDotModule() *ir.Module {
+	m := &ir.Module{Name: "mod"}
+	bd := ir.NewBuilder(m)
+	w := bd.AddGlobal("w", ir.I16T, 8)
+	d := bd.AddGlobal("d", ir.I16T, 8)
+	w.InitI = []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	d.InitI = []int64{8, 7, 6, 5, 4, 3, 2, 1}
+	bd.NewFunction("main", ir.VoidT)
+	acc := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), acc)
+	for i := 0; i < 8; i++ {
+		wl := bd.Load(ir.I16T, bd.GEP(w, ir.ConstInt(ir.I64T, int64(i))))
+		dl := bd.Load(ir.I16T, bd.GEP(d, ir.ConstInt(ir.I64T, int64(i))))
+		mul := bd.Bin(ir.OpMul, bd.Cast(ir.OpSExt, wl, ir.I32T), bd.Cast(ir.OpSExt, dl, ir.I32T))
+		mul.Flags |= ir.FlagNoWrap
+		wide := bd.Cast(ir.OpSExt, mul, ir.I64T)
+		cur := bd.Load(ir.I64T, acc)
+		sum := bd.Bin(ir.OpAdd, cur, wide)
+		sum.Flags |= ir.FlagNoWrap
+		bd.Store(sum, acc)
+	}
+	bd.Call("sim.out.i64", ir.VoidT, bd.Load(ir.I64T, acc))
+	bd.Ret(nil)
+	return m
+}
+
+func fastOpts() Options {
+	o := DefaultOptions()
+	o.Budget = 25
+	o.Lambda = 6
+	o.SeqMin = 4
+	o.SeqMax = 30
+	o.InitRandom = 4
+	o.GPOpts.AdamSteps = 15
+	return o
+}
+
+func TestCitroenRunsAndImproves(t *testing.T) {
+	task := newSyntheticTask(t)
+	res, err := NewTuner(task, fastOpts(), 1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no measurements recorded")
+	}
+	if res.BestSpeedup <= 0 {
+		t.Fatalf("speedup = %v", res.BestSpeedup)
+	}
+	// The trace's best speedup must be non-decreasing.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].BestSpeedup < res.Trace[i-1].BestSpeedup-1e-9 {
+			t.Fatal("best-so-far trace decreased")
+		}
+	}
+	if res.Breakdown.Measures == 0 || res.Breakdown.Compiles == 0 {
+		t.Fatal("breakdown not populated")
+	}
+	if res.Breakdown.Compiles <= res.Breakdown.Measures {
+		t.Fatalf("stats-guided search should compile more than it measures: %d vs %d",
+			res.Breakdown.Compiles, res.Breakdown.Measures)
+	}
+	if len(res.Importance) == 0 {
+		t.Fatal("no ARD importance ranking")
+	}
+	if len(res.HotModules) != 1 {
+		t.Fatalf("hot modules = %v", res.HotModules)
+	}
+}
+
+func TestCitroenBudgetRespected(t *testing.T) {
+	task := newSyntheticTask(t)
+	o := fastOpts()
+	o.Budget = 12
+	res, err := NewTuner(task, o, 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown.Measures > o.Budget {
+		t.Fatalf("budget exceeded: %d > %d", res.Breakdown.Measures, o.Budget)
+	}
+	if len(res.Trace) != res.Breakdown.Measures {
+		t.Fatalf("trace/measure mismatch: %d vs %d", len(res.Trace), res.Breakdown.Measures)
+	}
+}
+
+func TestCitroenDeterministic(t *testing.T) {
+	a, err := NewTuner(newSyntheticTask(t), fastOpts(), 42).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTuner(newSyntheticTask(t), fastOpts(), 42).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestSpeedup != b.BestSpeedup || len(a.Trace) != len(b.Trace) {
+		t.Fatalf("non-deterministic: %v vs %v", a.BestSpeedup, b.BestSpeedup)
+	}
+}
+
+func TestCitroenDedupSavesMeasurements(t *testing.T) {
+	task := newSyntheticTask(t)
+	o := fastOpts()
+	o.Budget = 30
+	res, err := NewTuner(task, o, 3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many random short sequences over a tiny kernel produce identical
+	// statistics; the dedup path must fire.
+	if res.SavedMeasurements == 0 && res.CandidateDupRate == 0 {
+		t.Fatalf("expected duplicate statistics on a tiny kernel: %+v", res)
+	}
+}
+
+func TestCitroenFeatureVariants(t *testing.T) {
+	for _, feat := range []FeatureKind{FeatStats, FeatAutophase, FeatTokenMix, FeatRawSeq} {
+		o := fastOpts()
+		o.Budget = 10
+		o.Feature = feat
+		res, err := NewTuner(newSyntheticTask(t), o, 4).Run()
+		if err != nil {
+			t.Fatalf("feature %v: %v", feat, err)
+		}
+		if res.BestSpeedup <= 0 {
+			t.Fatalf("feature %v: no result", feat)
+		}
+	}
+}
+
+func TestCitroenAblationsRun(t *testing.T) {
+	base := fastOpts()
+	base.Budget = 10
+	variants := []func(*Options){
+		func(o *Options) { o.CoverageAF = false },
+		func(o *Options) { o.HeuristicInit = false },
+		func(o *Options) { o.Adaptive = false },
+	}
+	for i, v := range variants {
+		o := base
+		v(&o)
+		if _, err := NewTuner(newSyntheticTask(t), o, int64(i)).Run(); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+	}
+}
+
+func TestFeatureIndexAndSparseVec(t *testing.T) {
+	fi := NewFeatureIndex()
+	v1 := sparseVec{"a": 1, "b": 2}
+	d1 := v1.dense(fi, "m|")
+	if len(d1) != 2 || fi.Dim() != 2 {
+		t.Fatalf("dense = %v dim=%d", d1, fi.Dim())
+	}
+	v2 := sparseVec{"b": 2, "c": 3}
+	d2 := v2.dense(fi, "m|")
+	if len(d2) != 3 {
+		t.Fatalf("index did not grow: %v", d2)
+	}
+	if v1.key() == v2.key() {
+		t.Fatal("distinct vectors share a key")
+	}
+	if v1.key() != (sparseVec{"b": 2, "a": 1}).key() {
+		t.Fatal("key not order-independent")
+	}
+	seen := map[string]bool{}
+	if v1.novelDims(seen, "m|") != 2 {
+		t.Fatal("novelty count wrong")
+	}
+	v1.markSeen(seen, "m|")
+	if v2.novelDims(seen, "m|") != 1 {
+		t.Fatal("novelty after marking wrong")
+	}
+}
+
+func TestExtractVariantsNonEmpty(t *testing.T) {
+	m := buildDotModule()
+	st := passes.Stats{}
+	if err := passes.Apply(m, []string{"mem2reg", "slp-vectorizer"}, st, false); err != nil {
+		t.Fatal(err)
+	}
+	seq := []string{"mem2reg", "slp-vectorizer"}
+	for _, k := range []FeatureKind{FeatStats, FeatAutophase, FeatTokenMix, FeatRawSeq} {
+		v := extract(k, m, st, seq)
+		if len(v) == 0 {
+			t.Fatalf("feature %v empty", k)
+		}
+	}
+	// Stats features must include the SLP counter.
+	sv := extract(FeatStats, m, st, seq)
+	if _, ok := sv["SLP.NumVectorInstructions"]; !ok {
+		t.Fatalf("stats features missing SLP counter: %v", sv)
+	}
+	_ = fmt.Sprint(FeatStats, FeatAutophase, FeatTokenMix, FeatRawSeq)
+}
+
+func TestSeedSequencesTransfer(t *testing.T) {
+	// A seed sequence known to be good for the dot kernel must be measured
+	// first and adopted as the incumbent.
+	task := newSyntheticTask(t)
+	o := fastOpts()
+	o.Budget = 8
+	o.InitRandom = 2
+	o.SeedSequences = [][]string{{"mem2reg", "slp-vectorizer", "dce"}}
+	res, err := NewTuner(task, o, 9).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no measurements")
+	}
+	// The transfer seed must be the first configuration measured, and the
+	// incumbent must never regress below any measured point.
+	if res.BestSpeedup+1e-9 < res.Trace[0].Speedup {
+		t.Fatal("incumbent regressed below the seed")
+	}
+	noSeed := fastOpts()
+	noSeed.Budget = 8
+	noSeed.InitRandom = 2
+	task2 := newSyntheticTask(t)
+	res2, err := NewTuner(task2, noSeed, 9).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Trace) == 0 {
+		t.Fatal("no measurements without seeds")
+	}
+}

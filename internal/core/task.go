@@ -1,0 +1,65 @@
+// Package core implements CITROEN (Chapter 5): Bayesian-optimisation-driven
+// compiler phase ordering that models pass interactions through pass-related
+// compilation statistics. Candidate pass sequences come from a portfolio of
+// discrete heuristics (DES, sequence GA, random — the discrete AIBO
+// initialisation); each candidate is compiled (cheap) to extract its
+// statistics feature vector; a Gaussian-process cost model with a
+// coverage-aware acquisition function picks the single candidate worth a
+// runtime measurement; and for multi-module programs an adaptive scheme
+// allocates the measurement budget across modules.
+package core
+
+import (
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// Task abstracts the program being tuned (§5.3.6): how to compile one module
+// under a pass sequence (returning the compiled IR and its statistics) and
+// how to measure the whole program under per-module sequences. The bench
+// package provides the standard implementation; examples/customtask shows a
+// user-defined one.
+type Task interface {
+	// Modules lists the tunable compilation units.
+	Modules() []string
+	// CompileModule applies seq to a fresh copy of the module. nil seq means
+	// the -O3 baseline pipeline. No execution happens.
+	CompileModule(mod string, seq []string) (*ir.Module, passes.Stats, error)
+	// Measure builds the program with the given per-module sequences
+	// (missing entries = -O3), runs it with differential testing and returns
+	// the measured time (lower is better).
+	Measure(seqs map[string][]string) (float64, error)
+	// BaselineTime is the -O3 measurement.
+	BaselineTime() float64
+	// HotModules returns the modules worth tuning, most expensive first,
+	// covering at least the given fraction of runtime.
+	HotModules(coverage float64) ([]string, error)
+}
+
+// BenchTask adapts bench.Evaluator-like objects to Task. It is defined via
+// small function fields so core does not import bench (avoiding a cycle
+// with experiment helpers).
+type BenchTask struct {
+	ModulesFn  func() []string
+	CompileFn  func(mod string, seq []string) (*ir.Module, passes.Stats, error)
+	MeasureFn  func(seqs map[string][]string) (float64, error)
+	BaselineFn func() float64
+	HotFn      func(coverage float64) ([]string, error)
+}
+
+// Modules implements Task.
+func (t *BenchTask) Modules() []string { return t.ModulesFn() }
+
+// CompileModule implements Task.
+func (t *BenchTask) CompileModule(mod string, seq []string) (*ir.Module, passes.Stats, error) {
+	return t.CompileFn(mod, seq)
+}
+
+// Measure implements Task.
+func (t *BenchTask) Measure(seqs map[string][]string) (float64, error) { return t.MeasureFn(seqs) }
+
+// BaselineTime implements Task.
+func (t *BenchTask) BaselineTime() float64 { return t.BaselineFn() }
+
+// HotModules implements Task.
+func (t *BenchTask) HotModules(coverage float64) ([]string, error) { return t.HotFn(coverage) }

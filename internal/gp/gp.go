@@ -1,0 +1,493 @@
+// Package gp implements exact Gaussian-process regression from scratch:
+// ARD RBF and Matérn-5/2 kernels, Cholesky-based inference, analytic
+// log-marginal-likelihood gradients and Adam-based hyperparameter fitting
+// with multiple restarts. It is the surrogate model for both the generic
+// high-dimensional BO of Chapter 4 (AIBO) and CITROEN's compilation-
+// statistics cost model (§5.3.3).
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/numeric"
+)
+
+// KernelKind selects the covariance function.
+type KernelKind int
+
+// Supported kernels.
+const (
+	RBF KernelKind = iota
+	Matern52
+)
+
+// Options configure fitting.
+type Options struct {
+	Kernel      KernelKind
+	Restarts    int     // hyperparameter optimisation restarts
+	AdamSteps   int     // gradient steps per restart
+	LearnRate   float64 // Adam step size (on log-params)
+	NoiseFloor  float64 // minimum noise variance
+	NoiseCeil   float64 // maximum noise variance
+	LSFloor     float64 // minimum length scale
+	LSCeil      float64 // maximum length scale
+	WarmLS      []float64
+	WarmSigF    float64
+	WarmNoise   float64
+	Standardize bool // standardise Y internally (recommended)
+	PowerTransf bool // Yeo-Johnson transform Y before standardising
+}
+
+// DefaultOptions mirror the paper's settings (§4.3.2): Matérn-5/2 ARD,
+// bounded length scales and noise, Yeo-Johnson output transform.
+func DefaultOptions() Options {
+	return Options{
+		Kernel: Matern52, Restarts: 2, AdamSteps: 60, LearnRate: 0.08,
+		NoiseFloor: 1e-6, NoiseCeil: 1e-2, LSFloor: 0.005, LSCeil: 20,
+		Standardize: true, PowerTransf: true,
+	}
+}
+
+// GP is a fitted Gaussian process.
+type GP struct {
+	Kind  KernelKind
+	X     [][]float64
+	LS    []float64 // per-dimension length scales
+	SigF  float64   // signal variance
+	Noise float64   // noise variance
+
+	y      []float64 // transformed, standardised targets
+	std    numeric.Standardizer
+	lambda float64 // Yeo-Johnson lambda (1 => identity)
+	usedYJ bool
+
+	chol  *numeric.Matrix
+	alpha []float64
+	lml   float64
+}
+
+// ErrNoData is returned when fitting with fewer than two points.
+var ErrNoData = errors.New("gp: need at least 2 observations")
+
+// Fit trains a GP on inputs X (rows) and targets Y.
+func Fit(X [][]float64, Y []float64, opts Options, rng *rand.Rand) (*GP, error) {
+	n := len(X)
+	if n < 2 || len(Y) != n {
+		return nil, ErrNoData
+	}
+	d := len(X[0])
+	for _, x := range X {
+		if len(x) != d {
+			return nil, fmt.Errorf("gp: ragged input rows")
+		}
+	}
+
+	// Output transform.
+	lambda := 1.0
+	usedYJ := false
+	ty := append([]float64(nil), Y...)
+	if opts.PowerTransf {
+		lambda = numeric.FitYeoJohnson(Y)
+		usedYJ = true
+		for i, v := range Y {
+			ty[i] = numeric.YeoJohnson(v, lambda)
+		}
+	}
+	std := numeric.Standardizer{Mu: 0, Sigma: 1}
+	if opts.Standardize {
+		std = numeric.FitStandardizer(ty)
+		for i := range ty {
+			ty[i] = std.Apply(ty[i])
+		}
+	}
+
+	g := &GP{Kind: opts.Kernel, X: X, y: ty, std: std, lambda: lambda, usedYJ: usedYJ}
+
+	// Hyperparameter optimisation over log parameters.
+	type theta struct {
+		ls    []float64
+		sigf  float64
+		noise float64
+	}
+	mkInit := func(r int) theta {
+		t := theta{ls: make([]float64, d), sigf: 1, noise: 1e-3}
+		for i := range t.ls {
+			t.ls[i] = 0.5
+		}
+		if r == 0 && opts.WarmLS != nil && len(opts.WarmLS) == d {
+			copy(t.ls, opts.WarmLS)
+			if opts.WarmSigF > 0 {
+				t.sigf = opts.WarmSigF
+			}
+			if opts.WarmNoise > 0 {
+				t.noise = opts.WarmNoise
+			}
+		} else if r > 0 && rng != nil {
+			for i := range t.ls {
+				t.ls[i] = math.Exp(rng.NormFloat64()*0.7 - 0.7)
+			}
+			t.sigf = math.Exp(rng.NormFloat64() * 0.5)
+		}
+		return t
+	}
+
+	best := math.Inf(-1)
+	var bestT theta
+	restarts := opts.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	for r := 0; r < restarts; r++ {
+		t := mkInit(r)
+		t = adamOptimize(g, t.ls, t.sigf, t.noise, opts)
+		lml, ok := g.computeLML(t.ls, t.sigf, t.noise)
+		if ok && lml > best {
+			best = lml
+			bestT = t
+		}
+	}
+	if math.IsInf(best, -1) {
+		// Fall back to defaults with inflated noise.
+		bestT = mkInit(0)
+		bestT.noise = opts.NoiseCeil
+		lml, ok := g.computeLML(bestT.ls, bestT.sigf, bestT.noise)
+		if !ok {
+			return nil, errors.New("gp: covariance not positive definite")
+		}
+		best = lml
+	}
+	g.LS, g.SigF, g.Noise = bestT.ls, bestT.sigf, bestT.noise
+	g.lml = best
+	if err := g.factorize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LML returns the log marginal likelihood at the fitted hyperparameters.
+func (g *GP) LML() float64 { return g.lml }
+
+// kernelVal computes k(a,b) plus, optionally, the per-dimension scaled
+// squared distances (for gradients).
+func kernelVal(kind KernelKind, a, b, ls []float64, sigf float64) float64 {
+	r2 := 0.0
+	for i := range a {
+		dx := (a[i] - b[i]) / ls[i]
+		r2 += dx * dx
+	}
+	switch kind {
+	case RBF:
+		return sigf * math.Exp(-0.5*r2)
+	default: // Matern52
+		r := math.Sqrt(r2)
+		s5r := math.Sqrt(5) * r
+		return sigf * (1 + s5r + 5.0/3.0*r2) * math.Exp(-s5r)
+	}
+}
+
+// buildK fills the kernel matrix for the training inputs.
+func (g *GP) buildK(ls []float64, sigf, noise float64) *numeric.Matrix {
+	n := len(g.X)
+	K := numeric.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernelVal(g.Kind, g.X[i], g.X[j], ls, sigf)
+			K.Set(i, j, v)
+			K.Set(j, i, v)
+		}
+	}
+	K.AddDiag(noise)
+	return K
+}
+
+// computeLML evaluates the log marginal likelihood.
+func (g *GP) computeLML(ls []float64, sigf, noise float64) (float64, bool) {
+	K := g.buildK(ls, sigf, noise)
+	L, _, err := numeric.CholeskyWithJitter(K, 1e-10, 6)
+	if err != nil {
+		return 0, false
+	}
+	alpha := numeric.CholSolve(L, g.y)
+	n := float64(len(g.y))
+	lml := -0.5*numeric.Dot(g.y, alpha) - 0.5*numeric.LogDetFromChol(L) - 0.5*n*math.Log(2*math.Pi)
+	if math.IsNaN(lml) || math.IsInf(lml, 0) {
+		return 0, false
+	}
+	return lml, true
+}
+
+// lmlGrad returns the LML and its gradient w.r.t. (log ls_d..., log sigf,
+// log noise).
+func (g *GP) lmlGrad(ls []float64, sigf, noise float64) (float64, []float64, bool) {
+	n := len(g.X)
+	d := len(ls)
+	K := g.buildK(ls, sigf, noise)
+	L, _, err := numeric.CholeskyWithJitter(K, 1e-10, 6)
+	if err != nil {
+		return 0, nil, false
+	}
+	alpha := numeric.CholSolve(L, g.y)
+	// A = alpha alpha^T - K^{-1}; we need tr(A dK/dθ) terms. Compute Kinv
+	// once (n^2 solves -> n^3, acceptable at our sizes).
+	eye := numeric.NewMatrix(n, n)
+	eye.AddDiag(1)
+	Kinv := numeric.CholSolveMatrix(L, eye)
+
+	lml := -0.5*numeric.Dot(g.y, alpha) - 0.5*numeric.LogDetFromChol(L) - 0.5*float64(n)*math.Log(2*math.Pi)
+	grad := make([]float64, d+2)
+	sqrt5 := math.Sqrt(5)
+
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			aij := alpha[i]*alpha[j] - Kinv.At(i, j)
+			w := 1.0
+			if i != j {
+				w = 2.0 // symmetric off-diagonal contributes twice
+			}
+			// Recompute kernel pieces for the pair.
+			r2 := 0.0
+			for dd := 0; dd < d; dd++ {
+				dx := (g.X[i][dd] - g.X[j][dd]) / ls[dd]
+				r2 += dx * dx
+			}
+			var kval, dkdr2 float64
+			switch g.Kind {
+			case RBF:
+				e := math.Exp(-0.5 * r2)
+				kval = sigf * e
+				dkdr2 = -0.5 * kval
+			default:
+				r := math.Sqrt(r2)
+				e := math.Exp(-sqrt5 * r)
+				kval = sigf * (1 + sqrt5*r + 5.0/3.0*r2) * e
+				// dk/dr2 = sigf * e * (-5/6)(1 + sqrt5 r)
+				dkdr2 = -sigf * e * (5.0 / 6.0) * (1 + sqrt5*r)
+			}
+			// d r2 / d log ls_dd = -2 (dx_dd)^2
+			for dd := 0; dd < d; dd++ {
+				dx := (g.X[i][dd] - g.X[j][dd]) / ls[dd]
+				dK := dkdr2 * (-2 * dx * dx)
+				grad[dd] += 0.5 * w * aij * dK
+			}
+			// d k / d log sigf = k
+			grad[d] += 0.5 * w * aij * kval
+			if i == j {
+				// d K / d log noise = noise on the diagonal
+				grad[d+1] += 0.5 * aij * noise
+			}
+		}
+	}
+	if math.IsNaN(lml) {
+		return 0, nil, false
+	}
+	return lml, grad, true
+}
+
+// adamOptimize runs Adam ascent on the LML over log-parameters.
+func adamOptimize(g *GP, ls []float64, sigf, noise float64, opts Options) struct {
+	ls    []float64
+	sigf  float64
+	noise float64
+} {
+	d := len(ls)
+	theta := make([]float64, d+2)
+	for i, v := range ls {
+		theta[i] = math.Log(v)
+	}
+	theta[d] = math.Log(sigf)
+	theta[d+1] = math.Log(noise)
+
+	m := make([]float64, d+2)
+	v := make([]float64, d+2)
+	beta1, beta2, eps := 0.9, 0.999, 1e-8
+	clamp := func() {
+		for i := 0; i < d; i++ {
+			theta[i] = numeric.Clamp(theta[i], math.Log(opts.LSFloor), math.Log(opts.LSCeil))
+		}
+		theta[d] = numeric.Clamp(theta[d], math.Log(1e-3), math.Log(1e3))
+		theta[d+1] = numeric.Clamp(theta[d+1], math.Log(opts.NoiseFloor), math.Log(opts.NoiseCeil))
+	}
+	clamp()
+	for step := 1; step <= opts.AdamSteps; step++ {
+		curLS := make([]float64, d)
+		for i := range curLS {
+			curLS[i] = math.Exp(theta[i])
+		}
+		_, grad, ok := g.lmlGrad(curLS, math.Exp(theta[d]), math.Exp(theta[d+1]))
+		if !ok {
+			break
+		}
+		for i := range theta {
+			m[i] = beta1*m[i] + (1-beta1)*grad[i]
+			v[i] = beta2*v[i] + (1-beta2)*grad[i]*grad[i]
+			mh := m[i] / (1 - math.Pow(beta1, float64(step)))
+			vh := v[i] / (1 - math.Pow(beta2, float64(step)))
+			theta[i] += opts.LearnRate * mh / (math.Sqrt(vh) + eps)
+		}
+		clamp()
+	}
+	out := struct {
+		ls    []float64
+		sigf  float64
+		noise float64
+	}{ls: make([]float64, d)}
+	for i := range out.ls {
+		out.ls[i] = math.Exp(theta[i])
+	}
+	out.sigf = math.Exp(theta[d])
+	out.noise = math.Exp(theta[d+1])
+	return out
+}
+
+// factorize caches the Cholesky factor and alpha for prediction.
+func (g *GP) factorize() error {
+	K := g.buildK(g.LS, g.SigF, g.Noise)
+	L, _, err := numeric.CholeskyWithJitter(K, 1e-10, 8)
+	if err != nil {
+		return err
+	}
+	g.chol = L
+	g.alpha = numeric.CholSolve(L, g.y)
+	return nil
+}
+
+// Predict returns the posterior mean and standard deviation at x, in the
+// ORIGINAL output units (transforms are inverted for the mean; the std is
+// scaled back through the standardiser but remains in transformed space for
+// the Yeo-Johnson case, which is how acquisition values are computed in
+// practice — consistently for all candidates).
+func (g *GP) Predict(x []float64) (mu, sigma float64) {
+	mu, sigma = g.predictTransformed(x)
+	return g.InvertMean(mu), g.std.InvertScale(sigma)
+}
+
+// PredictTransformed returns the posterior in the standardised (model)
+// space; acquisition functions operate here.
+func (g *GP) PredictTransformed(x []float64) (mu, sigma float64) {
+	return g.predictTransformed(x)
+}
+
+func (g *GP) predictTransformed(x []float64) (float64, float64) {
+	n := len(g.X)
+	k := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k[i] = kernelVal(g.Kind, x, g.X[i], g.LS, g.SigF)
+	}
+	mu := numeric.Dot(k, g.alpha)
+	v := numeric.SolveLower(g.chol, k)
+	varf := g.SigF + g.Noise - numeric.Dot(v, v)
+	if varf < 1e-12 {
+		varf = 1e-12
+	}
+	return mu, math.Sqrt(varf)
+}
+
+// TransformY maps an original-space observation into the model space (for
+// comparing with PredictTransformed outputs, e.g. the incumbent best).
+func (g *GP) TransformY(y float64) float64 {
+	t := y
+	if g.usedYJ {
+		t = numeric.YeoJohnson(y, g.lambda)
+	}
+	return g.std.Apply(t)
+}
+
+// InvertMean maps a model-space mean back to original units.
+func (g *GP) InvertMean(mu float64) float64 {
+	t := g.std.Invert(mu)
+	if g.usedYJ {
+		t = numeric.YeoJohnsonInverse(t, g.lambda)
+	}
+	return t
+}
+
+// PredictGrad returns the transformed-space posterior mean/std at x plus
+// their gradients w.r.t. x (for gradient-based acquisition maximisation).
+func (g *GP) PredictGrad(x []float64) (mu float64, dmu []float64, sigma float64, dsigma []float64) {
+	n := len(g.X)
+	d := len(x)
+	k := make([]float64, n)
+	dk := make([][]float64, n) // dk[i][dim]
+	sqrt5 := math.Sqrt(5)
+	for i := 0; i < n; i++ {
+		r2 := 0.0
+		for dd := 0; dd < d; dd++ {
+			dx := (x[dd] - g.X[i][dd]) / g.LS[dd]
+			r2 += dx * dx
+		}
+		var kv, dkdr2 float64
+		switch g.Kind {
+		case RBF:
+			e := math.Exp(-0.5 * r2)
+			kv = g.SigF * e
+			dkdr2 = -0.5 * kv
+		default:
+			r := math.Sqrt(r2)
+			e := math.Exp(-sqrt5 * r)
+			kv = g.SigF * (1 + sqrt5*r + 5.0/3.0*r2) * e
+			dkdr2 = -g.SigF * e * (5.0 / 6.0) * (1 + sqrt5*r)
+		}
+		k[i] = kv
+		row := make([]float64, d)
+		for dd := 0; dd < d; dd++ {
+			// d r2/d x_dd = 2 (x_dd - xi_dd)/ls^2
+			row[dd] = dkdr2 * 2 * (x[dd] - g.X[i][dd]) / (g.LS[dd] * g.LS[dd])
+		}
+		dk[i] = row
+	}
+	mu = numeric.Dot(k, g.alpha)
+	dmu = make([]float64, d)
+	for i := 0; i < n; i++ {
+		numeric.AxPy(g.alpha[i], dk[i], dmu)
+	}
+	v := numeric.SolveLower(g.chol, k)
+	varf := g.SigF + g.Noise - numeric.Dot(v, v)
+	if varf < 1e-12 {
+		varf = 1e-12
+	}
+	sigma = math.Sqrt(varf)
+	// dvar/dx = -2 k^T K^-1 dk => use w = K^-1 k.
+	w := numeric.SolveUpperT(g.chol, v)
+	dsigma = make([]float64, d)
+	for i := 0; i < n; i++ {
+		numeric.AxPy(-w[i], dk[i], dsigma)
+	}
+	numeric.Scale(dsigma, 1/sigma)
+	return mu, dmu, sigma, dsigma
+}
+
+// PredictJoint returns the joint posterior (mean vector and covariance) of q
+// candidate points in transformed space, for Monte-Carlo batch acquisition.
+func (g *GP) PredictJoint(xs [][]float64) ([]float64, *numeric.Matrix) {
+	q := len(xs)
+	n := len(g.X)
+	mu := make([]float64, q)
+	vs := make([][]float64, q)
+	for a := 0; a < q; a++ {
+		k := make([]float64, n)
+		for i := 0; i < n; i++ {
+			k[i] = kernelVal(g.Kind, xs[a], g.X[i], g.LS, g.SigF)
+		}
+		mu[a] = numeric.Dot(k, g.alpha)
+		vs[a] = numeric.SolveLower(g.chol, k)
+	}
+	cov := numeric.NewMatrix(q, q)
+	for a := 0; a < q; a++ {
+		for b := 0; b <= a; b++ {
+			prior := kernelVal(g.Kind, xs[a], xs[b], g.LS, g.SigF)
+			v := prior - numeric.Dot(vs[a], vs[b])
+			if a == b {
+				v += g.Noise
+				if v < 1e-12 {
+					v = 1e-12
+				}
+			}
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return mu, cov
+}

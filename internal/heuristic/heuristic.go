@@ -1,0 +1,388 @@
+// Package heuristic implements the evolutionary optimisers of §2.2 — CMA-ES
+// with full covariance adaptation, a continuous GA (tournament selection,
+// SBX crossover, polynomial mutation), a sequence GA, and the discrete 1+λ
+// evolution strategy (DES) — all behind ask/tell interfaces so AIBO and
+// CITROEN can use them as acquisition-maximiser initialisers (§4.3.1).
+package heuristic
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/numeric"
+)
+
+// Continuous is the ask/tell interface for continuous-domain heuristics.
+// Objectives are minimised.
+type Continuous interface {
+	// Ask returns k candidate points.
+	Ask(k int) [][]float64
+	// Tell feeds back an evaluated sample.
+	Tell(x []float64, y float64)
+}
+
+// Bounds is a per-dimension [lo, hi] box.
+type Bounds [][2]float64
+
+// Clip projects x into the box in place.
+func (b Bounds) Clip(x []float64) []float64 {
+	for i := range x {
+		x[i] = numeric.Clamp(x[i], b[i][0], b[i][1])
+	}
+	return x
+}
+
+// Sample draws a uniform point in the box.
+func (b Bounds) Sample(rng *rand.Rand) []float64 {
+	x := make([]float64, len(b))
+	for i := range x {
+		x[i] = b[i][0] + rng.Float64()*(b[i][1]-b[i][0])
+	}
+	return x
+}
+
+// --- Random search ---
+
+// RandomSearch asks uniform points; Tell is a no-op.
+type RandomSearch struct {
+	B   Bounds
+	Rng *rand.Rand
+}
+
+// Ask implements Continuous.
+func (r *RandomSearch) Ask(k int) [][]float64 {
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = r.B.Sample(r.Rng)
+	}
+	return out
+}
+
+// Tell implements Continuous.
+func (r *RandomSearch) Tell([]float64, float64) {}
+
+// --- CMA-ES (§2.2.2, equations 2.7-2.12) ---
+
+// CMAES is the covariance matrix adaptation evolution strategy.
+type CMAES struct {
+	B     Bounds
+	Rng   *rand.Rand
+	dim   int
+	mean  []float64
+	sigma float64
+	C     *numeric.Matrix // covariance
+	pc    []float64       // evolution path for C
+	ps    []float64       // evolution path for sigma
+	// Strategy parameters.
+	lambda  int
+	mu      int
+	weights []float64
+	mueff   float64
+	cc, cs  float64
+	c1, cmu float64
+	ds      float64
+	chiN    float64
+	// Generation buffer: evaluated samples since the last update.
+	genX [][]float64
+	genY []float64
+	gen  int
+
+	eig      *numeric.Matrix // cached Cholesky factor of C
+	eigStale bool
+}
+
+// NewCMAES builds a CMA-ES over the box with initial step sigma0 (relative
+// to a unit cube; scaled per-dimension by the box width).
+func NewCMAES(b Bounds, sigma0 float64, lambda int, rng *rand.Rand) *CMAES {
+	d := len(b)
+	if lambda <= 0 {
+		lambda = 4 + int(3*math.Log(float64(d)))
+	}
+	mu := lambda / 2
+	weights := make([]float64, mu)
+	sum := 0.0
+	for i := 0; i < mu; i++ {
+		weights[i] = math.Log(float64(lambda)/2+0.5) - math.Log(float64(i+1))
+		sum += weights[i]
+	}
+	mueff := 0.0
+	for i := range weights {
+		weights[i] /= sum
+		mueff += weights[i] * weights[i]
+	}
+	mueff = 1 / mueff
+	n := float64(d)
+	c := &CMAES{
+		B: b, Rng: rng, dim: d, sigma: sigma0,
+		lambda: lambda, mu: mu, weights: weights, mueff: mueff,
+		cc:   (4 + mueff/n) / (n + 4 + 2*mueff/n),
+		cs:   (mueff + 2) / (n + mueff + 5),
+		c1:   2 / ((n+1.3)*(n+1.3) + mueff),
+		chiN: math.Sqrt(n) * (1 - 1/(4*n) + 1/(21*n*n)),
+		pc:   make([]float64, d), ps: make([]float64, d),
+		C:        numeric.NewMatrix(d, d),
+		eigStale: true,
+	}
+	c.cmu = math.Min(1-c.c1, 2*(mueff-2+1/mueff)/((n+2)*(n+2)+mueff))
+	c.ds = 1 + 2*math.Max(0, math.Sqrt((mueff-1)/(n+1))-1) + c.cs
+	c.C.AddDiag(1)
+	c.mean = b.Sample(rng)
+	return c
+}
+
+// SeedMean centres the distribution on x (e.g. the best initial sample).
+func (c *CMAES) SeedMean(x []float64) { copy(c.mean, x) }
+
+func (c *CMAES) factor() *numeric.Matrix {
+	if !c.eigStale && c.eig != nil {
+		return c.eig
+	}
+	L, _, err := numeric.CholeskyWithJitter(c.C, 1e-12, 8)
+	if err != nil {
+		// Reset covariance on numerical collapse.
+		c.C = numeric.NewMatrix(c.dim, c.dim)
+		c.C.AddDiag(1)
+		L, _, _ = numeric.CholeskyWithJitter(c.C, 1e-12, 8)
+	}
+	c.eig = L
+	c.eigStale = false
+	return L
+}
+
+// Ask samples k points from N(mean, sigma^2 C), clipped to the box.
+func (c *CMAES) Ask(k int) [][]float64 {
+	L := c.factor()
+	out := make([][]float64, k)
+	for s := 0; s < k; s++ {
+		z := numeric.SampleNormalVec(c.Rng, c.dim)
+		x := make([]float64, c.dim)
+		for i := 0; i < c.dim; i++ {
+			v := c.mean[i]
+			for j := 0; j <= i; j++ {
+				v += c.sigma * L.At(i, j) * z[j] * (c.B[i][1] - c.B[i][0])
+			}
+			x[i] = v
+		}
+		out[s] = c.B.Clip(x)
+	}
+	return out
+}
+
+// Tell records an evaluated sample; after lambda samples the distribution
+// parameters update per equations 2.8-2.12.
+func (c *CMAES) Tell(x []float64, y float64) {
+	c.genX = append(c.genX, append([]float64(nil), x...))
+	c.genY = append(c.genY, y)
+	if len(c.genX) < c.lambda {
+		return
+	}
+	idx := numeric.ArgSort(c.genY) // ascending: best first (minimisation)
+	oldMean := append([]float64(nil), c.mean...)
+	// Mean update (eq 2.8).
+	newMean := make([]float64, c.dim)
+	for rank := 0; rank < c.mu; rank++ {
+		numeric.AxPy(c.weights[rank], c.genX[idx[rank]], newMean)
+	}
+	c.mean = newMean
+
+	// Normalised mean displacement y = (m' - m)/σ (per-dim box scaled).
+	yv := make([]float64, c.dim)
+	for i := range yv {
+		w := c.B[i][1] - c.B[i][0]
+		if w <= 0 {
+			w = 1
+		}
+		yv[i] = (c.mean[i] - oldMean[i]) / (c.sigma * w)
+	}
+	// ps update (eq 2.9) using C^-1/2 y ≈ L^-T L^-1 y ... we use the
+	// whitened displacement via solving L z = y.
+	L := c.factor()
+	z := numeric.SolveLower(L, yv)
+	coef := math.Sqrt(c.cs * (2 - c.cs) * c.mueff)
+	for i := range c.ps {
+		c.ps[i] = (1-c.cs)*c.ps[i] + coef*z[i]
+	}
+	// Step size (eq 2.10).
+	psn := numeric.Norm2(c.ps)
+	c.sigma *= math.Exp((c.cs / c.ds) * (psn/c.chiN - 1))
+	c.sigma = numeric.Clamp(c.sigma, 1e-8, 1.0)
+
+	// pc update (eq 2.11) with stall gate.
+	hsig := 0.0
+	if psn/math.Sqrt(1-math.Pow(1-c.cs, 2*float64(c.gen+1))) < (1.4+2/float64(c.dim+1))*c.chiN {
+		hsig = 1
+	}
+	coefC := math.Sqrt(c.cc * (2 - c.cc) * c.mueff)
+	for i := range c.pc {
+		c.pc[i] = (1-c.cc)*c.pc[i] + hsig*coefC*yv[i]
+	}
+	// Covariance update (eq 2.12).
+	for i := 0; i < c.dim; i++ {
+		for j := 0; j < c.dim; j++ {
+			v := (1 - c.c1 - c.cmu) * c.C.At(i, j)
+			v += c.c1 * c.pc[i] * c.pc[j]
+			c.C.Set(i, j, v)
+		}
+	}
+	for rank := 0; rank < c.mu; rank++ {
+		xi := c.genX[idx[rank]]
+		for i := 0; i < c.dim; i++ {
+			wi := c.B[i][1] - c.B[i][0]
+			if wi <= 0 {
+				wi = 1
+			}
+			di := (xi[i] - oldMean[i]) / (c.sigma * wi)
+			for j := 0; j < c.dim; j++ {
+				wj := c.B[j][1] - c.B[j][0]
+				if wj <= 0 {
+					wj = 1
+				}
+				dj := (xi[j] - oldMean[j]) / (c.sigma * wj)
+				c.C.Set(i, j, c.C.At(i, j)+c.cmu*c.weights[rank]*di*dj)
+			}
+		}
+	}
+	c.eigStale = true
+	c.genX = c.genX[:0]
+	c.genY = c.genY[:0]
+	c.gen++
+}
+
+// --- Continuous GA (§2.2.1) ---
+
+// GA is a real-coded genetic algorithm with tournament selection, simulated
+// binary crossover and polynomial mutation (pymoo defaults, §4.3.2).
+type GA struct {
+	B       Bounds
+	Rng     *rand.Rand
+	PopSize int
+	// Eta are the SBX/polynomial distribution indices.
+	EtaC, EtaM float64
+	CrossProb  float64
+	pop        []gaInd
+}
+
+type gaInd struct {
+	x []float64
+	y float64
+}
+
+// NewGA builds a GA with the given population size.
+func NewGA(b Bounds, popSize int, rng *rand.Rand) *GA {
+	return &GA{B: b, Rng: rng, PopSize: popSize, EtaC: 15, EtaM: 20, CrossProb: 0.5}
+}
+
+// PopulationDiversity returns the average pairwise distance of the current
+// population (Fig 4.15's metric).
+func (g *GA) PopulationDiversity() float64 {
+	n := len(g.pop)
+	if n < 2 {
+		return 0
+	}
+	total, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total += numeric.Norm2(numeric.Sub(g.pop[i].x, g.pop[j].x))
+			cnt++
+		}
+	}
+	return total / float64(cnt)
+}
+
+func (g *GA) tournament() []float64 {
+	a := g.pop[g.Rng.Intn(len(g.pop))]
+	b := g.pop[g.Rng.Intn(len(g.pop))]
+	if a.y <= b.y {
+		return a.x
+	}
+	return b.x
+}
+
+// Ask generates k offspring via selection, SBX and polynomial mutation.
+// Before the population fills, it returns uniform samples.
+func (g *GA) Ask(k int) [][]float64 {
+	out := make([][]float64, 0, k)
+	for len(out) < k {
+		if len(g.pop) < 2 {
+			out = append(out, g.B.Sample(g.Rng))
+			continue
+		}
+		p1, p2 := g.tournament(), g.tournament()
+		c1, c2 := g.sbx(p1, p2)
+		g.polyMutate(c1)
+		g.polyMutate(c2)
+		out = append(out, g.B.Clip(c1))
+		if len(out) < k {
+			out = append(out, g.B.Clip(c2))
+		}
+	}
+	return out
+}
+
+// sbx performs simulated binary crossover.
+func (g *GA) sbx(p1, p2 []float64) ([]float64, []float64) {
+	d := len(p1)
+	c1 := append([]float64(nil), p1...)
+	c2 := append([]float64(nil), p2...)
+	if g.Rng.Float64() > g.CrossProb {
+		return c1, c2
+	}
+	for i := 0; i < d; i++ {
+		if g.Rng.Float64() > 0.5 {
+			continue
+		}
+		u := g.Rng.Float64()
+		var beta float64
+		if u <= 0.5 {
+			beta = math.Pow(2*u, 1/(g.EtaC+1))
+		} else {
+			beta = math.Pow(1/(2*(1-u)), 1/(g.EtaC+1))
+		}
+		x1, x2 := p1[i], p2[i]
+		c1[i] = 0.5 * ((1+beta)*x1 + (1-beta)*x2)
+		c2[i] = 0.5 * ((1-beta)*x1 + (1+beta)*x2)
+	}
+	return c1, c2
+}
+
+// polyMutate applies polynomial mutation with probability 1/d per gene.
+func (g *GA) polyMutate(x []float64) {
+	d := len(x)
+	pm := 1.0 / float64(d)
+	for i := 0; i < d; i++ {
+		if g.Rng.Float64() > pm {
+			continue
+		}
+		lo, hi := g.B[i][0], g.B[i][1]
+		if hi <= lo {
+			continue
+		}
+		u := g.Rng.Float64()
+		var delta float64
+		if u < 0.5 {
+			delta = math.Pow(2*u, 1/(g.EtaM+1)) - 1
+		} else {
+			delta = 1 - math.Pow(2*(1-u), 1/(g.EtaM+1))
+		}
+		x[i] += delta * (hi - lo)
+	}
+}
+
+// Tell inserts the sample into the population, evicting the worst member
+// once the population is full (steady-state replacement).
+func (g *GA) Tell(x []float64, y float64) {
+	ind := gaInd{x: append([]float64(nil), x...), y: y}
+	if len(g.pop) < g.PopSize {
+		g.pop = append(g.pop, ind)
+		return
+	}
+	worst, wi := math.Inf(-1), -1
+	for i, p := range g.pop {
+		if p.y > worst {
+			worst, wi = p.y, i
+		}
+	}
+	if y < worst {
+		g.pop[wi] = ind
+	}
+}

@@ -1,0 +1,370 @@
+package ir
+
+import "fmt"
+
+// FuncAttrs carries interprocedural attributes discovered by analyses.
+type FuncAttrs uint8
+
+// Function attributes.
+const (
+	// AttrReadNone: the function reads no memory (pure). Set by
+	// function-attrs; enables CSE/GVN of calls.
+	AttrReadNone FuncAttrs = 1 << iota
+	// AttrReadOnly: reads but never writes memory.
+	AttrReadOnly
+	// AttrInternal: not visible outside the module (eligible for globaldce
+	// and dead-argument elimination).
+	AttrInternal
+	// AttrAlwaysInline: must be inlined by the always-inline pass.
+	AttrAlwaysInline
+	// AttrNoInline: never inline.
+	AttrNoInline
+)
+
+// Function is a single function: parameters, a return type and blocks.
+// Blocks[0] is the entry block.
+type Function struct {
+	Name    string
+	Params  []*Param
+	RetTy   Type
+	Blocks  []*Block
+	Attrs   FuncAttrs
+	IsDecl  bool // declaration only (external), no body
+	nextTmp int
+}
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// NumInstrs counts the instructions in the function.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// HasAttr reports whether all bits in a are set.
+func (f *Function) HasAttr(a FuncAttrs) bool { return f.Attrs&a == a }
+
+// Block is a basic block: a straight-line instruction list ended by a
+// terminator.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+	parent *Function
+}
+
+// Parent returns the containing function.
+func (b *Block) Parent() *Function { return b.parent }
+
+// Term returns the block terminator, or nil if the block is unterminated.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Append adds an instruction at the end of the block.
+func (b *Block) Append(in *Instr) *Instr {
+	in.parent = b
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// InsertBefore inserts in before position idx.
+func (b *Block) InsertBefore(idx int, in *Instr) {
+	in.parent = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+1:], b.Instrs[idx:])
+	b.Instrs[idx] = in
+}
+
+// RemoveAt deletes the instruction at position idx.
+func (b *Block) RemoveAt(idx int) {
+	b.Instrs[idx].parent = nil
+	b.Instrs = append(b.Instrs[:idx], b.Instrs[idx+1:]...)
+}
+
+// IndexOf returns the position of in within the block, or -1.
+func (b *Block) IndexOf(in *Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// Phis returns the leading phi instructions of the block.
+func (b *Block) Phis() []*Instr {
+	var out []*Instr
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// Module is a single compilation unit: an ordered list of functions plus
+// global data. A multi-file program is a set of modules (see internal/bench).
+type Module struct {
+	Name    string
+	Funcs   []*Function
+	Globals []*Global
+	// Meta records module-level facts established by analysis passes
+	// (e.g. "builtins-pure" set by inferattrs and consulted by GVN).
+	Meta map[string]bool
+	// TargetVecWidth64 is the SIMD width (64-bit lanes) of the compilation
+	// target, consulted by the vectorisers' profitability models. Zero means
+	// the conservative default of 2 (128-bit SIMD).
+	TargetVecWidth64 int
+}
+
+// VecWidth64 returns the target SIMD width in 64-bit lanes.
+func (m *Module) VecWidth64() int {
+	if m.TargetVecWidth64 <= 0 {
+		return 2
+	}
+	return m.TargetVecWidth64
+}
+
+// VecLanesFor returns how many lanes of kind k one SIMD op processes.
+func (m *Module) VecLanesFor(k Kind) int {
+	w := m.VecWidth64()
+	if k.Bits() <= 32 && k != Ptr {
+		return w * 2
+	}
+	return w
+}
+
+// SetMeta records a module-level fact.
+func (m *Module) SetMeta(key string) {
+	if m.Meta == nil {
+		m.Meta = make(map[string]bool)
+	}
+	m.Meta[key] = true
+}
+
+// HasMeta reports whether a module-level fact was established.
+func (m *Module) HasMeta(key string) bool { return m.Meta[key] }
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Function {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (m *Module) GlobalByName(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// NumInstrs counts instructions across all function bodies.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// RemoveFunc deletes the named function from the module.
+func (m *Module) RemoveFunc(name string) {
+	for i, f := range m.Funcs {
+		if f.Name == name {
+			m.Funcs = append(m.Funcs[:i], m.Funcs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Renumber assigns sequential IDs to every instruction for printing.
+func (m *Module) Renumber() {
+	for _, f := range m.Funcs {
+		id := 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				in.ID = id
+				id++
+			}
+		}
+	}
+}
+
+// Clone deep-copies the module. Instruction operands, phi incoming blocks and
+// branch targets are remapped to the cloned objects; constants are shared
+// (they are immutable).
+func (m *Module) Clone() *Module {
+	out := &Module{Name: m.Name, TargetVecWidth64: m.TargetVecWidth64}
+	if m.Meta != nil {
+		out.Meta = make(map[string]bool, len(m.Meta))
+		for k, v := range m.Meta {
+			out.Meta[k] = v
+		}
+	}
+	gmap := make(map[*Global]*Global, len(m.Globals))
+	for _, g := range m.Globals {
+		ng := &Global{Name: g.Name, Elem: g.Elem, Size: g.Size, Const: g.Const}
+		if g.InitI != nil {
+			ng.InitI = append([]int64(nil), g.InitI...)
+		}
+		if g.InitF != nil {
+			ng.InitF = append([]float64(nil), g.InitF...)
+		}
+		gmap[g] = ng
+		out.Globals = append(out.Globals, ng)
+	}
+	for _, f := range m.Funcs {
+		out.Funcs = append(out.Funcs, cloneFunction(f, gmap))
+	}
+	return out
+}
+
+// CloneFunction deep-copies a single function (globals are shared).
+func CloneFunction(f *Function) *Function {
+	return cloneFunction(f, nil)
+}
+
+func cloneFunction(f *Function, gmap map[*Global]*Global) *Function {
+	nf := &Function{Name: f.Name, RetTy: f.RetTy, Attrs: f.Attrs, IsDecl: f.IsDecl, nextTmp: f.nextTmp}
+	pmap := make(map[*Param]*Param, len(f.Params))
+	for _, p := range f.Params {
+		np := &Param{Name: p.Name, Ty: p.Ty, Index: p.Index}
+		pmap[p] = np
+		nf.Params = append(nf.Params, np)
+	}
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	imap := make(map[*Instr]*Instr)
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name, parent: nf}
+		bmap[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	// First pass: create instruction shells so forward references (phis)
+	// can be remapped.
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op: in.Op, Ty: in.Ty, Pred: in.Pred, Callee: in.Callee,
+				AllocTy: in.AllocTy, NAlloc: in.NAlloc, Flags: in.Flags,
+				ID: in.ID, parent: nb,
+			}
+			if in.Cases != nil {
+				ni.Cases = append([]int64(nil), in.Cases...)
+			}
+			imap[in] = ni
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+	}
+	remap := func(v Value) Value {
+		switch t := v.(type) {
+		case *Instr:
+			nv, ok := imap[t]
+			if !ok {
+				panic(fmt.Sprintf("ir: clone: operand instruction not in function %s", f.Name))
+			}
+			return nv
+		case *Param:
+			if np, ok := pmap[t]; ok {
+				return np
+			}
+			return t
+		case *Global:
+			if gmap != nil {
+				if ng, ok := gmap[t]; ok {
+					return ng
+				}
+			}
+			return t
+		default:
+			return v // constants are immutable and shared
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			ni := imap[in]
+			if len(in.Ops) > 0 {
+				ni.Ops = make([]Value, len(in.Ops))
+				for i, op := range in.Ops {
+					ni.Ops[i] = remap(op)
+				}
+			}
+			if len(in.Blocks) > 0 {
+				ni.Blocks = make([]*Block, len(in.Blocks))
+				for i, tb := range in.Blocks {
+					ni.Blocks[i] = bmap[tb]
+				}
+			}
+		}
+	}
+	return nf
+}
+
+// ReplaceAllUses rewrites every use of old as new throughout the function.
+func ReplaceAllUses(f *Function, old, new Value) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, op := range in.Ops {
+				if op == old {
+					in.Ops[i] = new
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// HasUses reports whether v is used by any instruction in f.
+func HasUses(f *Function, v Value) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, op := range in.Ops {
+				if op == v {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CountUses returns the number of operand slots referencing v.
+func CountUses(f *Function, v Value) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, op := range in.Ops {
+				if op == v {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// AttachBlock sets f as the parent of a block constructed outside the
+// Builder (used by CFG-restructuring passes). The caller is responsible for
+// appending the block to f.Blocks.
+func AttachBlock(b *Block, f *Function) { b.parent = f }

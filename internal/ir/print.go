@@ -1,0 +1,130 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in a compact LLVM-like textual form. It is meant
+// for debugging, examples and golden tests, not for round-tripping.
+func (m *Module) String() string {
+	m.Renumber()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		kind := "global"
+		if g.Const {
+			kind = "constant"
+		}
+		fmt.Fprintf(&sb, "@%s = %s [%d x %s]\n", g.Name, kind, g.Size, g.Elem)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders a single function.
+func (f *Function) String() string {
+	var sb strings.Builder
+	var ps []string
+	for _, p := range f.Params {
+		ps = append(ps, fmt.Sprintf("%s %%%s", p.Ty, p.Name))
+	}
+	kw := "define"
+	if f.IsDecl {
+		kw = "declare"
+	}
+	var attrs []string
+	if f.HasAttr(AttrReadNone) {
+		attrs = append(attrs, "readnone")
+	}
+	if f.HasAttr(AttrReadOnly) {
+		attrs = append(attrs, "readonly")
+	}
+	if f.HasAttr(AttrInternal) {
+		attrs = append(attrs, "internal")
+	}
+	attrStr := ""
+	if len(attrs) > 0 {
+		attrStr = " " + strings.Join(attrs, " ")
+	}
+	fmt.Fprintf(&sb, "\n%s %s @%s(%s)%s", kw, f.RetTy, f.Name, strings.Join(ps, ", "), attrStr)
+	if f.IsDecl {
+		sb.WriteString("\n")
+		return sb.String()
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in.String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders a single instruction.
+func (in *Instr) String() string {
+	opName := func(v Value) string {
+		if v == nil {
+			return "<nil>"
+		}
+		return v.valueName()
+	}
+	switch in.Op {
+	case OpAlloca:
+		return fmt.Sprintf("%%%d = alloca [%d x %s]", in.ID, in.NAlloc, in.AllocTy)
+	case OpLoad:
+		return fmt.Sprintf("%%%d = load %s, %s", in.ID, in.Ty, opName(in.Ops[0]))
+	case OpStore:
+		return fmt.Sprintf("store %s, %s", opName(in.Ops[0]), opName(in.Ops[1]))
+	case OpGEP:
+		return fmt.Sprintf("%%%d = gep %s, %s", in.ID, opName(in.Ops[0]), opName(in.Ops[1]))
+	case OpICmp, OpFCmp:
+		return fmt.Sprintf("%%%d = %s %s %s, %s", in.ID, in.Op, in.Pred, opName(in.Ops[0]), opName(in.Ops[1]))
+	case OpSelect:
+		return fmt.Sprintf("%%%d = select %s, %s, %s", in.ID, opName(in.Ops[0]), opName(in.Ops[1]), opName(in.Ops[2]))
+	case OpBr:
+		return fmt.Sprintf("br %s, %s, %s", opName(in.Ops[0]), in.Blocks[0].Name, in.Blocks[1].Name)
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", in.Blocks[0].Name)
+	case OpSwitch:
+		var cs []string
+		for i, c := range in.Cases {
+			cs = append(cs, fmt.Sprintf("%d:%s", c, in.Blocks[i+1].Name))
+		}
+		return fmt.Sprintf("switch %s, default %s [%s]", opName(in.Ops[0]), in.Blocks[0].Name, strings.Join(cs, " "))
+	case OpRet:
+		if len(in.Ops) == 0 {
+			return "ret void"
+		}
+		return fmt.Sprintf("ret %s", opName(in.Ops[0]))
+	case OpPhi:
+		var inc []string
+		for i, v := range in.Ops {
+			inc = append(inc, fmt.Sprintf("[%s, %s]", opName(v), in.Blocks[i].Name))
+		}
+		return fmt.Sprintf("%%%d = phi %s %s", in.ID, in.Ty, strings.Join(inc, ", "))
+	case OpCall:
+		var args []string
+		for _, a := range in.Ops {
+			args = append(args, opName(a))
+		}
+		if in.Ty == VoidT {
+			return fmt.Sprintf("call void @%s(%s)", in.Callee, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("%%%d = call %s @%s(%s)", in.ID, in.Ty, in.Callee, strings.Join(args, ", "))
+	default:
+		var args []string
+		for _, a := range in.Ops {
+			args = append(args, opName(a))
+		}
+		mark := ""
+		if in.Flags&FlagWidened != 0 {
+			mark = " ; widened"
+		}
+		return fmt.Sprintf("%%%d = %s %s %s%s", in.ID, in.Op, in.Ty, strings.Join(args, ", "), mark)
+	}
+}

@@ -1,0 +1,773 @@
+// Package irgen deterministically generates synthetic benchmark programs in
+// frontend-style IR (allocas, top-test loops, no SSA values across blocks),
+// the stand-in for clang -O0 output over cBench/SPEC sources. Kernels are
+// modelled on the workloads the paper's benchmarks contain — DSP dot
+// products (telecom_gsm), filters, stencils, CRCs, state machines, sorting,
+// float normalisation — and are parameterised so different programs reward
+// different pass orderings.
+package irgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// KernelKind enumerates generator templates.
+type KernelKind int
+
+// Kernel templates.
+const (
+	DotProduct    KernelKind = iota // unrolled i16 MAC loop (SLP target)
+	FIR                             // filter with small constant inner loop (unroll target)
+	Stencil                         // 3-point stencil (needs GEP offset splitting)
+	CRC                             // bit-twiddling dependency chain
+	Histogram                       // data-dependent stores, branchy
+	MatMul                          // 3-deep nest, invariant row pointers
+	MinMaxReduce                    // abs/min/max builtin calls
+	StateMachine                    // switch in a loop
+	CompareBlocks                   // equality-compare chains (mergeicmps)
+	CopyFill                        // memset/memcpy idiom loops
+	InsertionSort                   // compare-and-swap heavy
+	TailRecur                       // tail-recursive accumulation
+	FloatNorm                       // float division by loop-invariant
+	Polynomial                      // Horner evaluation chain
+	PrefixSum                       // loop-carried dependency (not vectorisable)
+	numKernelKinds
+)
+
+var kindNames = [...]string{
+	"dot", "fir", "stencil", "crc", "hist", "matmul", "minmax", "state",
+	"cmpblk", "copyfill", "isort", "tailrec", "fnorm", "poly", "psum",
+}
+
+// String implements fmt.Stringer.
+func (k KernelKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kernel(%d)", k)
+}
+
+// KernelSpec parameterises one kernel instance.
+type KernelSpec struct {
+	Kind KernelKind
+	Name string
+	Size int // main array length
+	Reps int // invocations from the driver
+	// ExitPred selects the source loop-exit comparison (slt/sle/ne),
+	// exercising indvars canonicalisation.
+	ExitPred ir.CmpPred
+	// Unroll is the source-level unroll factor for DotProduct/FIR.
+	Unroll int
+}
+
+// ModuleSpec parameterises one compilation unit.
+type ModuleSpec struct {
+	Name    string
+	Kernels []KernelSpec
+	Seed    int64
+}
+
+// gen carries build state for one module.
+type gen struct {
+	bd   *ir.Builder
+	rng  *rand.Rand
+	mod  *ir.Module
+	name string
+}
+
+// BuildModule generates one module: each kernel becomes an internal function
+// returning an i64 checksum, plus an exported driver `run_<name>` that calls
+// every kernel Reps times and emits the checksums.
+func BuildModule(spec ModuleSpec) *ir.Module {
+	m := &ir.Module{Name: spec.Name}
+	g := &gen{bd: ir.NewBuilder(m), rng: rand.New(rand.NewSource(spec.Seed)), mod: m, name: spec.Name}
+
+	var kernelFuncs []struct {
+		fn    *ir.Function
+		reps  int
+		float bool
+	}
+	for i, ks := range spec.Kernels {
+		if ks.Name == "" {
+			ks.Name = fmt.Sprintf("%s_%s%d", spec.Name, ks.Kind, i)
+		}
+		if ks.Size == 0 {
+			ks.Size = 64
+		}
+		if ks.Reps == 0 {
+			ks.Reps = 2
+		}
+		if ks.Unroll == 0 {
+			ks.Unroll = 4
+		}
+		fn, isFloat := g.buildKernel(ks)
+		fn.Attrs |= ir.AttrInternal
+		kernelFuncs = append(kernelFuncs, struct {
+			fn    *ir.Function
+			reps  int
+			float bool
+		}{fn, ks.Reps, isFloat})
+	}
+
+	// Driver.
+	bd := g.bd
+	bd.NewFunction("run_"+spec.Name, ir.VoidT)
+	for _, kf := range kernelFuncs {
+		for r := 0; r < kf.reps; r++ {
+			if kf.float {
+				v := bd.Call(kf.fn.Name, ir.F64T)
+				bd.Call("sim.out.f64", ir.VoidT, v)
+			} else {
+				v := bd.Call(kf.fn.Name, ir.I64T)
+				bd.Call("sim.out.i64", ir.VoidT, v)
+			}
+		}
+	}
+	bd.Ret(nil)
+	return m
+}
+
+// BuildMain generates the main module for a program whose per-module drivers
+// are named run_<module> and defined elsewhere.
+func BuildMain(programName string, moduleNames []string) *ir.Module {
+	m := &ir.Module{Name: programName + "_main"}
+	bd := ir.NewBuilder(m)
+	for _, name := range moduleNames {
+		bd.DeclareFunction("run_"+name, ir.VoidT)
+	}
+	bd.NewFunction("main", ir.VoidT)
+	for _, name := range moduleNames {
+		bd.Call("run_"+name, ir.VoidT)
+	}
+	bd.Ret(nil)
+	return m
+}
+
+// --- generator helpers ---
+
+// global creates a module-scoped array with deterministic contents.
+func (g *gen) global(tag string, elem ir.Type, size int, init func(i int) int64) *ir.Global {
+	gl := g.bd.AddGlobal(fmt.Sprintf("%s_%s%d", g.name, tag, len(g.mod.Globals)), elem, size)
+	if elem.Kind.IsFloat() {
+		gl.InitF = make([]float64, size)
+		for i := range gl.InitF {
+			gl.InitF[i] = float64(init(i)%97)/8.0 + 1.0
+		}
+	} else {
+		gl.InitI = make([]int64, size)
+		for i := range gl.InitI {
+			gl.InitI[i] = ir.WrapInt(elem.Kind, init(i))
+		}
+	}
+	return gl
+}
+
+func (g *gen) randInit() func(i int) int64 {
+	a := g.rng.Int63n(37) + 1
+	b := g.rng.Int63n(101)
+	return func(i int) int64 { return (int64(i)*a+b)%61 - 30 }
+}
+
+// loop emits a frontend-style counted loop: i stored in an alloca, top-test
+// with the requested predicate. body receives the loaded IV value.
+func (g *gen) loop(tag string, from, to int64, pred ir.CmpPred, body func(iv ir.Value)) {
+	bd := g.bd
+	iVar := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, from), iVar)
+	header := bd.NewBlock(tag + "_h")
+	bodyB := bd.NewBlock(tag + "_b")
+	exit := bd.NewBlock(tag + "_e")
+	bd.Jmp(header)
+
+	bd.SetBlock(header)
+	iv := bd.Load(ir.I64T, iVar)
+	bound := to
+	if pred == ir.CmpSLE {
+		bound = to - 1
+	}
+	cond := bd.ICmp(pred, iv, ir.ConstInt(ir.I64T, bound))
+	if pred == ir.CmpNE {
+		// while (i != to)
+		cond.Pred = ir.CmpNE
+	}
+	bd.Br(cond, bodyB, exit)
+
+	bd.SetBlock(bodyB)
+	i2 := bd.Load(ir.I64T, iVar)
+	body(i2)
+	next := bd.Bin(ir.OpAdd, i2, ir.ConstInt(ir.I64T, 1))
+	next.Flags |= ir.FlagNoWrap
+	bd.Store(next, iVar)
+	bd.Jmp(header)
+
+	bd.SetBlock(exit)
+}
+
+// nsw marks an instruction no-signed-wrap (frontend knowledge: C signed
+// overflow is UB).
+func nsw(in *ir.Instr) *ir.Instr {
+	in.Flags |= ir.FlagNoWrap
+	return in
+}
+
+// buildKernel dispatches to the template builders. It returns the function
+// and whether its checksum is floating point.
+func (g *gen) buildKernel(ks KernelSpec) (*ir.Function, bool) {
+	switch ks.Kind {
+	case DotProduct:
+		return g.kDotProduct(ks), false
+	case FIR:
+		return g.kFIR(ks), false
+	case Stencil:
+		return g.kStencil(ks), false
+	case CRC:
+		return g.kCRC(ks), false
+	case Histogram:
+		return g.kHistogram(ks), false
+	case MatMul:
+		return g.kMatMul(ks), false
+	case MinMaxReduce:
+		return g.kMinMax(ks), false
+	case StateMachine:
+		return g.kStateMachine(ks), false
+	case CompareBlocks:
+		return g.kCompareBlocks(ks), false
+	case CopyFill:
+		return g.kCopyFill(ks), false
+	case InsertionSort:
+		return g.kInsertionSort(ks), false
+	case TailRecur:
+		return g.kTailRecur(ks), false
+	case FloatNorm:
+		return g.kFloatNorm(ks), true
+	case Polynomial:
+		return g.kPolynomial(ks), true
+	case PrefixSum:
+		return g.kPrefixSum(ks), false
+	}
+	panic("irgen: unknown kernel kind")
+}
+
+// kDotProduct: the telecom_gsm long_term surrogate — an i16 MAC loop whose
+// body is source-unrolled U-wide, accumulating in i64 through i32 products.
+func (g *gen) kDotProduct(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	n := ks.Size - ks.Size%ks.Unroll
+	w := g.global("w", ir.I16T, ks.Size, g.randInit())
+	d := g.global("d", ir.I16T, ks.Size, g.randInit())
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	acc := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), acc)
+	g.loopStep(ks.Name, 0, int64(n), int64(ks.Unroll), ks.ExitPred, func(iv ir.Value) {
+		for k := 0; k < ks.Unroll; k++ {
+			idx := iv
+			if k > 0 {
+				idx = nsw(bd.Bin(ir.OpAdd, iv, ir.ConstInt(ir.I64T, int64(k))))
+			}
+			wl := bd.Load(ir.I16T, bd.GEP(w, idx))
+			dl := bd.Load(ir.I16T, bd.GEP(d, idx))
+			ws := bd.Cast(ir.OpSExt, wl, ir.I32T)
+			ds := bd.Cast(ir.OpSExt, dl, ir.I32T)
+			mul := nsw(bd.Bin(ir.OpMul, ws, ds))
+			wide := bd.Cast(ir.OpSExt, mul, ir.I64T)
+			cur := bd.Load(ir.I64T, acc)
+			bd.Store(nsw(bd.Bin(ir.OpAdd, cur, wide)), acc)
+		}
+	})
+	bd.Ret(bd.Load(ir.I64T, acc))
+	_ = f
+	return f
+}
+
+// loopStep is like loop but with a configurable stride.
+func (g *gen) loopStep(tag string, from, to, step int64, pred ir.CmpPred, body func(iv ir.Value)) {
+	bd := g.bd
+	iVar := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, from), iVar)
+	header := bd.NewBlock(tag + "_h")
+	bodyB := bd.NewBlock(tag + "_b")
+	exit := bd.NewBlock(tag + "_e")
+	bd.Jmp(header)
+	bd.SetBlock(header)
+	iv := bd.Load(ir.I64T, iVar)
+	if pred != ir.CmpSLT && pred != ir.CmpNE && pred != ir.CmpSLE {
+		pred = ir.CmpSLT
+	}
+	bound := to
+	if pred == ir.CmpSLE {
+		bound = to - step
+	}
+	cond := bd.ICmp(pred, iv, ir.ConstInt(ir.I64T, bound))
+	bd.Br(cond, bodyB, exit)
+	bd.SetBlock(bodyB)
+	i2 := bd.Load(ir.I64T, iVar)
+	body(i2)
+	next := nsw(bd.Bin(ir.OpAdd, i2, ir.ConstInt(ir.I64T, step)))
+	bd.Store(next, iVar)
+	bd.Jmp(header)
+	bd.SetBlock(exit)
+}
+
+// kFIR: out[i] = sum_t coef[t]*in[i+t] with a constant 8-tap inner loop.
+func (g *gen) kFIR(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	taps := 8
+	in := g.global("in", ir.I32T, ks.Size+taps, g.randInit())
+	coef := g.global("coef", ir.I32T, taps, g.randInit())
+	out := g.global("out", ir.I32T, ks.Size, func(int) int64 { return 0 })
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	chk := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), chk)
+	g.loop(ks.Name+"_o", 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		accVar := bd.Alloca(ir.I32T, 1)
+		bd.Store(ir.ConstInt(ir.I32T, 0), accVar)
+		g.loop(ks.Name+"_i", 0, int64(taps), ir.CmpSLT, func(t ir.Value) {
+			idx := nsw(bd.Bin(ir.OpAdd, i, t))
+			x := bd.Load(ir.I32T, bd.GEP(in, idx))
+			c := bd.Load(ir.I32T, bd.GEP(coef, t))
+			p := nsw(bd.Bin(ir.OpMul, x, c))
+			a := bd.Load(ir.I32T, accVar)
+			bd.Store(nsw(bd.Bin(ir.OpAdd, a, p)), accVar)
+		})
+		a := bd.Load(ir.I32T, accVar)
+		bd.Store(a, bd.GEP(out, i))
+		wide := bd.Cast(ir.OpSExt, a, ir.I64T)
+		cv := bd.Load(ir.I64T, chk)
+		bd.Store(nsw(bd.Bin(ir.OpAdd, cv, wide)), chk)
+	})
+	bd.Ret(bd.Load(ir.I64T, chk))
+	return f
+}
+
+// kStencil: out[i] = (a[i-1]+a[i]+a[i+1]) >> 2, over [1, n-1).
+func (g *gen) kStencil(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	a := g.global("a", ir.I64T, ks.Size+2, g.randInit())
+	out := g.global("o", ir.I64T, ks.Size+2, func(int) int64 { return 0 })
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	chk := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), chk)
+	g.loop(ks.Name, 1, int64(ks.Size+1), ks.ExitPred, func(i ir.Value) {
+		im1 := nsw(bd.Bin(ir.OpAdd, i, ir.ConstInt(ir.I64T, -1)))
+		ip1 := nsw(bd.Bin(ir.OpAdd, i, ir.ConstInt(ir.I64T, 1)))
+		x0 := bd.Load(ir.I64T, bd.GEP(a, im1))
+		x1 := bd.Load(ir.I64T, bd.GEP(a, i))
+		x2 := bd.Load(ir.I64T, bd.GEP(a, ip1))
+		s := nsw(bd.Bin(ir.OpAdd, nsw(bd.Bin(ir.OpAdd, x0, x1)), x2))
+		v := bd.Bin(ir.OpAShr, s, ir.ConstInt(ir.I64T, 2))
+		bd.Store(v, bd.GEP(out, i))
+		cv := bd.Load(ir.I64T, chk)
+		bd.Store(bd.Bin(ir.OpXor, cv, v), chk)
+	})
+	bd.Ret(bd.Load(ir.I64T, chk))
+	return f
+}
+
+// kCRC: serial polynomial-division-style hash over bytes.
+func (g *gen) kCRC(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	data := g.global("dat", ir.I8T, ks.Size, g.randInit())
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	crc := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0xFFFF), crc)
+	g.loop(ks.Name, 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		b := bd.Load(ir.I8T, bd.GEP(data, i))
+		wide := bd.Cast(ir.OpZExt, b, ir.I64T)
+		c := bd.Load(ir.I64T, crc)
+		x := bd.Bin(ir.OpXor, c, wide)
+		// Two unrolled polynomial steps with a branchless select.
+		for k := 0; k < 2; k++ {
+			low := bd.Bin(ir.OpAnd, x, ir.ConstInt(ir.I64T, 1))
+			shifted := bd.Bin(ir.OpLShr, x, ir.ConstInt(ir.I64T, 1))
+			poly := bd.Bin(ir.OpXor, shifted, ir.ConstInt(ir.I64T, 0xA001))
+			isSet := bd.ICmp(ir.CmpNE, low, ir.ConstInt(ir.I64T, 0))
+			x = bd.Select(isSet, poly, shifted)
+		}
+		bd.Store(x, crc)
+	})
+	bd.Ret(bd.Load(ir.I64T, crc))
+	return f
+}
+
+// kHistogram: bucket counts with branch on value magnitude.
+func (g *gen) kHistogram(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	data := g.global("dat", ir.I64T, ks.Size, g.randInit())
+	hist := g.global("h", ir.I64T, 16, func(int) int64 { return 0 })
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	g.loop(ks.Name, 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		x := bd.Load(ir.I64T, bd.GEP(data, i))
+		bucket := bd.Bin(ir.OpAnd, x, ir.ConstInt(ir.I64T, 15))
+		big := bd.ICmp(ir.CmpSGT, x, ir.ConstInt(ir.I64T, 0))
+		thenB := bd.NewBlock(ks.Name + "_t")
+		elseB := bd.NewBlock(ks.Name + "_f")
+		join := bd.NewBlock(ks.Name + "_j")
+		bd.Br(big, thenB, elseB)
+		bd.SetBlock(thenB)
+		p := bd.GEP(hist, bucket)
+		c := bd.Load(ir.I64T, p)
+		bd.Store(nsw(bd.Bin(ir.OpAdd, c, ir.ConstInt(ir.I64T, 1))), p)
+		bd.Jmp(join)
+		bd.SetBlock(elseB)
+		p2 := bd.GEP(hist, bucket)
+		c2 := bd.Load(ir.I64T, p2)
+		bd.Store(nsw(bd.Bin(ir.OpAdd, c2, ir.ConstInt(ir.I64T, 2))), p2)
+		bd.Jmp(join)
+		bd.SetBlock(join)
+	})
+	chk := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), chk)
+	g.loop(ks.Name+"_c", 0, 16, ir.CmpSLT, func(i ir.Value) {
+		h := bd.Load(ir.I64T, bd.GEP(hist, i))
+		c := bd.Load(ir.I64T, chk)
+		bd.Store(nsw(bd.Bin(ir.OpAdd, bd.Bin(ir.OpMul, c, ir.ConstInt(ir.I64T, 3)), h)), chk)
+	})
+	bd.Ret(bd.Load(ir.I64T, chk))
+	return f
+}
+
+// kMatMul: C = A×B over n×n i32 matrices (n = min(Size, 16)).
+func (g *gen) kMatMul(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	n := ks.Size
+	if n > 16 {
+		n = 16
+	}
+	a := g.global("A", ir.I32T, n*n, g.randInit())
+	b := g.global("B", ir.I32T, n*n, g.randInit())
+	c := g.global("C", ir.I32T, n*n, func(int) int64 { return 0 })
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	nC := ir.ConstInt(ir.I64T, int64(n))
+	g.loop(ks.Name+"_i", 0, int64(n), ir.CmpSLT, func(i ir.Value) {
+		rowBase := nsw(bd.Bin(ir.OpMul, i, nC))
+		g.loop(ks.Name+"_j", 0, int64(n), ir.CmpSLT, func(j ir.Value) {
+			accVar := bd.Alloca(ir.I32T, 1)
+			bd.Store(ir.ConstInt(ir.I32T, 0), accVar)
+			g.loop(ks.Name+"_k", 0, int64(n), ks.ExitPred, func(k ir.Value) {
+				ai := nsw(bd.Bin(ir.OpAdd, rowBase, k))
+				av := bd.Load(ir.I32T, bd.GEP(a, ai))
+				bi := nsw(bd.Bin(ir.OpAdd, nsw(bd.Bin(ir.OpMul, k, nC)), j))
+				bv := bd.Load(ir.I32T, bd.GEP(b, bi))
+				p := nsw(bd.Bin(ir.OpMul, av, bv))
+				acc := bd.Load(ir.I32T, accVar)
+				bd.Store(nsw(bd.Bin(ir.OpAdd, acc, p)), accVar)
+			})
+			ci := nsw(bd.Bin(ir.OpAdd, rowBase, j))
+			bd.Store(bd.Load(ir.I32T, accVar), bd.GEP(c, ci))
+		})
+	})
+	chk := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), chk)
+	g.loop(ks.Name+"_s", 0, int64(n*n), ir.CmpSLT, func(i ir.Value) {
+		v := bd.Load(ir.I32T, bd.GEP(c, i))
+		w := bd.Cast(ir.OpSExt, v, ir.I64T)
+		cv := bd.Load(ir.I64T, chk)
+		bd.Store(bd.Bin(ir.OpXor, nsw(bd.Bin(ir.OpAdd, cv, w)), ir.ConstInt(ir.I64T, 0x5D)), chk)
+	})
+	bd.Ret(bd.Load(ir.I64T, chk))
+	return f
+}
+
+// kMinMax: range reduction through abs/min/max builtins.
+func (g *gen) kMinMax(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	data := g.global("dat", ir.I64T, ks.Size, g.randInit())
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	mn := bd.Alloca(ir.I64T, 1)
+	mx := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 1<<40), mn)
+	bd.Store(ir.ConstInt(ir.I64T, -(1<<40)), mx)
+	g.loop(ks.Name, 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		x := bd.Load(ir.I64T, bd.GEP(data, i))
+		ax := bd.Call("sim.abs.i64", ir.I64T, x)
+		cmn := bd.Load(ir.I64T, mn)
+		bd.Store(bd.Call("sim.min.i64", ir.I64T, cmn, ax), mn)
+		cmx := bd.Load(ir.I64T, mx)
+		bd.Store(bd.Call("sim.max.i64", ir.I64T, cmx, ax), mx)
+	})
+	lo := bd.Load(ir.I64T, mn)
+	hi := bd.Load(ir.I64T, mx)
+	bd.Ret(nsw(bd.Bin(ir.OpAdd, nsw(bd.Bin(ir.OpMul, hi, ir.ConstInt(ir.I64T, 1000))), lo)))
+	return f
+}
+
+// kStateMachine: a 4-state protocol scanner driven by input bytes.
+func (g *gen) kStateMachine(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	data := g.global("dat", ir.I8T, ks.Size, g.randInit())
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	state := bd.Alloca(ir.I64T, 1)
+	count := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), state)
+	bd.Store(ir.ConstInt(ir.I64T, 0), count)
+	g.loop(ks.Name, 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		b := bd.Load(ir.I8T, bd.GEP(data, i))
+		wide := bd.Bin(ir.OpAnd, bd.Cast(ir.OpZExt, b, ir.I64T), ir.ConstInt(ir.I64T, 3))
+		s := bd.Load(ir.I64T, state)
+		s0 := bd.NewBlock(ks.Name + "_s0")
+		s1 := bd.NewBlock(ks.Name + "_s1")
+		s2 := bd.NewBlock(ks.Name + "_s2")
+		sd := bd.NewBlock(ks.Name + "_sd")
+		join := bd.NewBlock(ks.Name + "_sj")
+		bd.Switch(s, sd, []int64{0, 1, 2}, []*ir.Block{s0, s1, s2})
+		bd.SetBlock(s0)
+		bd.Store(wide, state)
+		bd.Jmp(join)
+		bd.SetBlock(s1)
+		bd.Store(nsw(bd.Bin(ir.OpAdd, wide, ir.ConstInt(ir.I64T, 1))), state)
+		bd.Jmp(join)
+		bd.SetBlock(s2)
+		c := bd.Load(ir.I64T, count)
+		bd.Store(nsw(bd.Bin(ir.OpAdd, c, ir.ConstInt(ir.I64T, 1))), count)
+		bd.Store(ir.ConstInt(ir.I64T, 0), state)
+		bd.Jmp(join)
+		bd.SetBlock(sd)
+		bd.Store(ir.ConstInt(ir.I64T, 1), state)
+		bd.Jmp(join)
+		bd.SetBlock(join)
+	})
+	cv := bd.Load(ir.I64T, count)
+	sv := bd.Load(ir.I64T, state)
+	bd.Ret(nsw(bd.Bin(ir.OpAdd, nsw(bd.Bin(ir.OpMul, cv, ir.ConstInt(ir.I64T, 10))), sv)))
+	return f
+}
+
+// kCompareBlocks: count 8-word matches between two arrays using explicit
+// equality chains (the mergeicmps shape).
+func (g *gen) kCompareBlocks(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	blk := 8
+	n := ks.Size - ks.Size%blk
+	a := g.global("a", ir.I64T, ks.Size, g.randInit())
+	bArr := g.global("b", ir.I64T, ks.Size, func(i int) int64 {
+		// Mostly equal to a's pattern so some blocks match.
+		v := g.randInit()(i)
+		return v
+	})
+	// Make b a noisy copy of a.
+	copy(bArr.InitI, a.InitI)
+	for i := 3; i < len(bArr.InitI); i += 7 {
+		bArr.InitI[i]++
+	}
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	matches := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), matches)
+	g.loopStep(ks.Name, 0, int64(n), int64(blk), ks.ExitPred, func(i ir.Value) {
+		var cond ir.Value
+		for k := 0; k < blk; k++ {
+			idx := i
+			if k > 0 {
+				idx = nsw(bd.Bin(ir.OpAdd, i, ir.ConstInt(ir.I64T, int64(k))))
+			}
+			va := bd.Load(ir.I64T, bd.GEP(a, idx))
+			vb := bd.Load(ir.I64T, bd.GEP(bArr, idx))
+			eq := bd.ICmp(ir.CmpEQ, va, vb)
+			if cond == nil {
+				cond = eq
+			} else {
+				cond = bd.Bin(ir.OpAnd, cond, eq)
+			}
+		}
+		inc := bd.Cast(ir.OpZExt, cond, ir.I64T)
+		mv := bd.Load(ir.I64T, matches)
+		bd.Store(nsw(bd.Bin(ir.OpAdd, mv, inc)), matches)
+	})
+	bd.Ret(bd.Load(ir.I64T, matches))
+	return f
+}
+
+// kCopyFill: a fill loop, a copy loop and two element-wise loops over equal
+// trip counts (loop-idiom and loop-fusion shapes).
+func (g *gen) kCopyFill(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	src := g.global("src", ir.I64T, ks.Size, g.randInit())
+	dst := g.global("dst", ir.I64T, ks.Size, func(int) int64 { return 0 })
+	tmp := g.global("tmp", ir.I64T, ks.Size, func(int) int64 { return 0 })
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	g.loop(ks.Name+"_fill", 0, int64(ks.Size), ir.CmpSLT, func(i ir.Value) {
+		bd.Store(ir.ConstInt(ir.I64T, 5), bd.GEP(tmp, i))
+	})
+	g.loop(ks.Name+"_copy", 0, int64(ks.Size), ir.CmpSLT, func(i ir.Value) {
+		bd.Store(bd.Load(ir.I64T, bd.GEP(src, i)), bd.GEP(dst, i))
+	})
+	g.loop(ks.Name+"_m1", 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		p := bd.GEP(dst, i)
+		v := bd.Load(ir.I64T, p)
+		bd.Store(nsw(bd.Bin(ir.OpAdd, v, ir.ConstInt(ir.I64T, 3))), p)
+	})
+	g.loop(ks.Name+"_m2", 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		p := bd.GEP(tmp, i)
+		v := bd.Load(ir.I64T, p)
+		bd.Store(bd.Bin(ir.OpShl, v, ir.ConstInt(ir.I64T, 1)), p)
+	})
+	chk := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), chk)
+	g.loop(ks.Name+"_chk", 0, int64(ks.Size), ir.CmpSLT, func(i ir.Value) {
+		v1 := bd.Load(ir.I64T, bd.GEP(dst, i))
+		v2 := bd.Load(ir.I64T, bd.GEP(tmp, i))
+		c := bd.Load(ir.I64T, chk)
+		bd.Store(nsw(bd.Bin(ir.OpAdd, c, bd.Bin(ir.OpXor, v1, v2))), chk)
+	})
+	bd.Ret(bd.Load(ir.I64T, chk))
+	return f
+}
+
+// kInsertionSort: sorts a scratch copy (branchy inner while loop).
+func (g *gen) kInsertionSort(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	n := ks.Size
+	if n > 48 {
+		n = 48
+	}
+	data := g.global("dat", ir.I64T, n, g.randInit())
+	scratch := g.global("scr", ir.I64T, n, func(int) int64 { return 0 })
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	g.loop(ks.Name+"_cp", 0, int64(n), ir.CmpSLT, func(i ir.Value) {
+		bd.Store(bd.Load(ir.I64T, bd.GEP(data, i)), bd.GEP(scratch, i))
+	})
+	// for i in 1..n: key = s[i]; j = i-1; while j>=0 && s[j]>key: s[j+1]=s[j]; j--; s[j+1]=key
+	g.loop(ks.Name+"_o", 1, int64(n), ir.CmpSLT, func(i ir.Value) {
+		key := bd.Load(ir.I64T, bd.GEP(scratch, i))
+		jVar := bd.Alloca(ir.I64T, 1)
+		bd.Store(nsw(bd.Bin(ir.OpAdd, i, ir.ConstInt(ir.I64T, -1))), jVar)
+		wh := bd.NewBlock(ks.Name + "_wh")
+		wb := bd.NewBlock(ks.Name + "_wb")
+		wc := bd.NewBlock(ks.Name + "_wc")
+		we := bd.NewBlock(ks.Name + "_we")
+		bd.Jmp(wh)
+		bd.SetBlock(wh)
+		j := bd.Load(ir.I64T, jVar)
+		ge0 := bd.ICmp(ir.CmpSGE, j, ir.ConstInt(ir.I64T, 0))
+		bd.Br(ge0, wb, we)
+		bd.SetBlock(wb)
+		j2 := bd.Load(ir.I64T, jVar)
+		sj := bd.Load(ir.I64T, bd.GEP(scratch, j2))
+		gt := bd.ICmp(ir.CmpSGT, sj, key)
+		bd.Br(gt, wc, we)
+		bd.SetBlock(wc)
+		j3 := bd.Load(ir.I64T, jVar)
+		sj2 := bd.Load(ir.I64T, bd.GEP(scratch, j3))
+		jp1 := nsw(bd.Bin(ir.OpAdd, j3, ir.ConstInt(ir.I64T, 1)))
+		bd.Store(sj2, bd.GEP(scratch, jp1))
+		bd.Store(nsw(bd.Bin(ir.OpAdd, j3, ir.ConstInt(ir.I64T, -1))), jVar)
+		bd.Jmp(wh)
+		bd.SetBlock(we)
+		jf := bd.Load(ir.I64T, jVar)
+		jf1 := nsw(bd.Bin(ir.OpAdd, jf, ir.ConstInt(ir.I64T, 1)))
+		bd.Store(key, bd.GEP(scratch, jf1))
+	})
+	chk := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), chk)
+	g.loop(ks.Name+"_chk", 0, int64(n), ir.CmpSLT, func(i ir.Value) {
+		v := bd.Load(ir.I64T, bd.GEP(scratch, i))
+		c := bd.Load(ir.I64T, chk)
+		m := nsw(bd.Bin(ir.OpMul, c, ir.ConstInt(ir.I64T, 7)))
+		bd.Store(nsw(bd.Bin(ir.OpAdd, m, v)), chk)
+	})
+	bd.Ret(bd.Load(ir.I64T, chk))
+	return f
+}
+
+// kTailRecur: checksum via a tail-recursive helper (tailcallelim shape).
+func (g *gen) kTailRecur(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	data := g.global("dat", ir.I64T, ks.Size, g.randInit())
+	helper := ks.Name + "_step"
+	// step(i, acc): if i >= n return acc; return step(i+1, acc*3 + dat[i])
+	hf := bd.NewFunction(helper, ir.I64T, ir.I64T, ir.I64T)
+	hf.Attrs |= ir.AttrInternal
+	rec := bd.NewBlock("rec")
+	base := bd.NewBlock("base")
+	c := bd.ICmp(ir.CmpSGE, hf.Params[0], ir.ConstInt(ir.I64T, int64(ks.Size)))
+	bd.Br(c, base, rec)
+	bd.SetBlock(base)
+	bd.Ret(hf.Params[1])
+	bd.SetBlock(rec)
+	x := bd.Load(ir.I64T, bd.GEP(data, hf.Params[0]))
+	acc := nsw(bd.Bin(ir.OpAdd, nsw(bd.Bin(ir.OpMul, hf.Params[1], ir.ConstInt(ir.I64T, 3))), x))
+	i1 := nsw(bd.Bin(ir.OpAdd, hf.Params[0], ir.ConstInt(ir.I64T, 1)))
+	r := bd.Call(helper, ir.I64T, i1, acc)
+	bd.Ret(r)
+
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	res := bd.Call(helper, ir.I64T, ir.ConstInt(ir.I64T, 0), ir.ConstInt(ir.I64T, 1))
+	bd.Ret(res)
+	return f
+}
+
+// kFloatNorm: scale an f64 array by 1/sum (invariant division in loop).
+func (g *gen) kFloatNorm(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	a := g.global("a", ir.F64T, ks.Size, g.randInit())
+	out := g.global("o", ir.F64T, ks.Size, func(int) int64 { return 0 })
+	f := bd.NewFunction(ks.Name, ir.F64T)
+	sum := bd.Alloca(ir.F64T, 1)
+	bd.Store(ir.ConstFloat(ir.F64T, 1.0), sum)
+	g.loop(ks.Name+"_s", 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		x := bd.Load(ir.F64T, bd.GEP(a, i))
+		s := bd.Load(ir.F64T, sum)
+		bd.Store(bd.Bin(ir.OpFAdd, s, x), sum)
+	})
+	g.loop(ks.Name+"_n", 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		x := bd.Load(ir.F64T, bd.GEP(a, i))
+		s := bd.Load(ir.F64T, sum)
+		inv := bd.Bin(ir.OpFDiv, ir.ConstFloat(ir.F64T, 1), s)
+		bd.Store(bd.Bin(ir.OpFMul, x, inv), bd.GEP(out, i))
+	})
+	chk := bd.Alloca(ir.F64T, 1)
+	bd.Store(ir.ConstFloat(ir.F64T, 0), chk)
+	g.loop(ks.Name+"_c", 0, int64(ks.Size), ir.CmpSLT, func(i ir.Value) {
+		v := bd.Load(ir.F64T, bd.GEP(out, i))
+		cv := bd.Load(ir.F64T, chk)
+		bd.Store(bd.Bin(ir.OpFAdd, cv, v), chk)
+	})
+	bd.Ret(bd.Load(ir.F64T, chk))
+	return f
+}
+
+// kPolynomial: Horner evaluation of a degree-6 polynomial per element.
+func (g *gen) kPolynomial(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	a := g.global("x", ir.F64T, ks.Size, g.randInit())
+	f := bd.NewFunction(ks.Name, ir.F64T)
+	chk := bd.Alloca(ir.F64T, 1)
+	bd.Store(ir.ConstFloat(ir.F64T, 0), chk)
+	coefs := make([]float64, 7)
+	for i := range coefs {
+		coefs[i] = float64(g.rng.Intn(9)-4) / 4
+	}
+	g.loop(ks.Name, 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		x := bd.Load(ir.F64T, bd.GEP(a, i))
+		xs := bd.Bin(ir.OpFDiv, x, ir.ConstFloat(ir.F64T, 16))
+		var acc ir.Value = ir.ConstFloat(ir.F64T, coefs[0])
+		for _, cf := range coefs[1:] {
+			acc = bd.Bin(ir.OpFAdd, bd.Bin(ir.OpFMul, acc, xs), ir.ConstFloat(ir.F64T, cf))
+		}
+		cv := bd.Load(ir.F64T, chk)
+		bd.Store(bd.Bin(ir.OpFAdd, cv, acc), chk)
+	})
+	bd.Ret(bd.Load(ir.F64T, chk))
+	return f
+}
+
+// kPrefixSum: s[i] = s[i-1] + a[i], a strict loop-carried dependency.
+func (g *gen) kPrefixSum(ks KernelSpec) *ir.Function {
+	bd := g.bd
+	a := g.global("a", ir.I64T, ks.Size, g.randInit())
+	out := g.global("p", ir.I64T, ks.Size, func(int) int64 { return 0 })
+	f := bd.NewFunction(ks.Name, ir.I64T)
+	run := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), run)
+	g.loop(ks.Name, 0, int64(ks.Size), ks.ExitPred, func(i ir.Value) {
+		x := bd.Load(ir.I64T, bd.GEP(a, i))
+		r := bd.Load(ir.I64T, run)
+		s := nsw(bd.Bin(ir.OpAdd, r, x))
+		bd.Store(s, run)
+		bd.Store(s, bd.GEP(out, i))
+	})
+	bd.Ret(bd.Load(ir.I64T, run))
+	return f
+}

@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Measurement wraps execution with the noise model of a real timing run:
+// modelled cycles are perturbed multiplicatively, mirroring OS jitter and
+// thermal variance on the paper's evaluation platforms.
+type Measurement struct {
+	Machine  *Machine
+	NoiseStd float64 // relative std-dev of one timing run (paper-style ~0.5-1%)
+	Rng      *rand.Rand
+}
+
+// NewMeasurement returns a measurement harness with the given noise level.
+func NewMeasurement(m *Machine, noiseStd float64, seed int64) *Measurement {
+	return &Measurement{Machine: m, NoiseStd: noiseStd, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// TimeOnce runs entry once and returns one noisy time sample plus the clean
+// result (for output comparison).
+func (ms *Measurement) TimeOnce(img *Image, entry string, args ...Val) (float64, *Result, error) {
+	res, err := ms.Machine.Run(img, entry, args...)
+	if err != nil {
+		return 0, nil, err
+	}
+	noise := 1 + ms.NoiseStd*ms.Rng.NormFloat64()
+	if noise < 0.5 {
+		noise = 0.5
+	}
+	return res.Cycles * noise, res, nil
+}
+
+// TimeMedian runs entry `runs` times and returns the median of the noisy
+// samples, following the paper's repeated-measurement protocol.
+func (ms *Measurement) TimeMedian(img *Image, entry string, runs int, args ...Val) (float64, *Result, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	var res *Result
+	samples := make([]float64, runs)
+	for i := 0; i < runs; i++ {
+		t, r, err := ms.TimeOnce(img, entry, args...)
+		if err != nil {
+			return 0, nil, err
+		}
+		samples[i] = t
+		res = r
+	}
+	return median(samples), res, nil
+}
+
+func median(v []float64) float64 {
+	c := append([]float64(nil), v...)
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j] < c[j-1]; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// OutputsMatch compares two output streams with a relative tolerance for
+// floating values, since reassociating transforms (vectorised reductions)
+// legitimately change rounding, mirroring fast-math differential testing.
+func OutputsMatch(a, b []OutputEvent, relTol float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("machine: output length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].IsFloat != b[i].IsFloat {
+			return fmt.Errorf("machine: output %d kind mismatch", i)
+		}
+		if a[i].IsFloat {
+			diff := math.Abs(a[i].F - b[i].F)
+			scale := math.Max(1, math.Max(math.Abs(a[i].F), math.Abs(b[i].F)))
+			if diff > relTol*scale {
+				return fmt.Errorf("machine: output %d differs: %g vs %g", i, a[i].F, b[i].F)
+			}
+		} else if a[i].I != b[i].I {
+			return fmt.Errorf("machine: output %d differs: %d vs %d", i, a[i].I, b[i].I)
+		}
+	}
+	return nil
+}

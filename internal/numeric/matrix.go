@@ -1,0 +1,256 @@
+// Package numeric provides the dense linear algebra, random sampling and
+// statistical primitives used by the Gaussian process, the heuristic
+// optimisers and the experiment harness. Everything is implemented on top of
+// the standard library so the module stays dependency-free.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed r-by-c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("numeric: invalid matrix shape %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("numeric: mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := ri[k]
+			if a == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := range oi {
+				oi[j] += a * bk[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("numeric: mulvec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// AddDiag adds v to every diagonal element in place.
+func (m *Matrix) AddDiag(v float64) {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+}
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is not
+// (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("numeric: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ.
+// A must be symmetric; only its lower triangle is read.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		panic("numeric: cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			li, lj := l.Row(i), l.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= li[k] * lj[k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				li[j] = math.Sqrt(sum)
+			} else {
+				li[j] = sum / lj[j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholeskyWithJitter repeatedly adds diagonal jitter (growing ×10 each try)
+// until the factorisation succeeds, returning the factor and the jitter used.
+func CholeskyWithJitter(a *Matrix, jitter float64, maxTries int) (*Matrix, float64, error) {
+	work := a.Clone()
+	added := 0.0
+	for try := 0; try <= maxTries; try++ {
+		l, err := Cholesky(work)
+		if err == nil {
+			return l, added, nil
+		}
+		step := jitter * math.Pow(10, float64(try))
+		work.AddDiag(step)
+		added += step
+	}
+	return nil, added, ErrNotPositiveDefinite
+}
+
+// SolveLower solves L·x = b for lower-triangular L.
+func SolveLower(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		li := l.Row(i)
+		for k := 0; k < i; k++ {
+			sum -= li[k] * x[k]
+		}
+		x[i] = sum / li[i]
+	}
+	return x
+}
+
+// SolveUpperT solves Lᵀ·x = b given the lower-triangular factor L.
+func SolveUpperT(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// CholSolve solves A·x = b using the Cholesky factor L of A.
+func CholSolve(l *Matrix, b []float64) []float64 {
+	return SolveUpperT(l, SolveLower(l, b))
+}
+
+// CholSolveMatrix solves A·X = B column-by-column using the factor L.
+func CholSolveMatrix(l *Matrix, b *Matrix) *Matrix {
+	out := NewMatrix(b.Rows, b.Cols)
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := CholSolve(l, col)
+		for i := 0; i < b.Rows; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// LogDetFromChol returns log|A| given the Cholesky factor L of A.
+func LogDetFromChol(l *Matrix) float64 {
+	sum := 0.0
+	for i := 0; i < l.Rows; i++ {
+		sum += math.Log(l.At(i, i))
+	}
+	return 2 * sum
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Scale multiplies every element of v by s in place and returns v.
+func Scale(v []float64, s float64) []float64 {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// AxPy computes y += a·x in place.
+func AxPy(a float64, x, y []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Sub returns a-b as a new slice.
+func Sub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,248 @@
+package passes
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// foldConst evaluates an instruction whose operands are all constants,
+// returning the folded constant or nil when the operation cannot be folded
+// (division by zero, non-constant operand, unsupported op).
+func foldConst(in *ir.Instr) *ir.Const {
+	if in.Ty.IsVector() {
+		return nil
+	}
+	cs := make([]*ir.Const, len(in.Ops))
+	for i, op := range in.Ops {
+		c, ok := op.(*ir.Const)
+		if !ok {
+			return nil
+		}
+		cs[i] = c
+	}
+	k := in.Ty.Kind
+	switch in.Op {
+	case ir.OpAdd:
+		return ir.ConstInt(in.Ty, cs[0].I+cs[1].I)
+	case ir.OpSub:
+		return ir.ConstInt(in.Ty, cs[0].I-cs[1].I)
+	case ir.OpMul:
+		return ir.ConstInt(in.Ty, cs[0].I*cs[1].I)
+	case ir.OpSDiv:
+		if cs[1].I == 0 || (cs[0].I == math.MinInt64 && cs[1].I == -1) {
+			return nil
+		}
+		return ir.ConstInt(in.Ty, cs[0].I/cs[1].I)
+	case ir.OpSRem:
+		if cs[1].I == 0 || (cs[0].I == math.MinInt64 && cs[1].I == -1) {
+			return nil
+		}
+		return ir.ConstInt(in.Ty, cs[0].I%cs[1].I)
+	case ir.OpUDiv:
+		if cs[1].I == 0 {
+			return nil
+		}
+		return ir.ConstInt(in.Ty, int64(uint64(cs[0].I)/uint64(cs[1].I)))
+	case ir.OpAnd:
+		return ir.ConstInt(in.Ty, cs[0].I&cs[1].I)
+	case ir.OpOr:
+		return ir.ConstInt(in.Ty, cs[0].I|cs[1].I)
+	case ir.OpXor:
+		return ir.ConstInt(in.Ty, cs[0].I^cs[1].I)
+	case ir.OpShl:
+		return ir.ConstInt(in.Ty, cs[0].I<<uint64(cs[1].I&63))
+	case ir.OpLShr:
+		return ir.ConstInt(in.Ty, int64(uint64(cs[0].I)>>uint64(cs[1].I&63)))
+	case ir.OpAShr:
+		return ir.ConstInt(in.Ty, cs[0].I>>uint64(cs[1].I&63))
+	case ir.OpFAdd:
+		return ir.ConstFloat(in.Ty, cs[0].F+cs[1].F)
+	case ir.OpFSub:
+		return ir.ConstFloat(in.Ty, cs[0].F-cs[1].F)
+	case ir.OpFMul:
+		return ir.ConstFloat(in.Ty, cs[0].F*cs[1].F)
+	case ir.OpFDiv:
+		if cs[1].F == 0 {
+			return nil
+		}
+		return ir.ConstFloat(in.Ty, cs[0].F/cs[1].F)
+	case ir.OpICmp:
+		return ir.ConstBool(evalICmp(in.Pred, cs[0].I, cs[1].I))
+	case ir.OpFCmp:
+		return ir.ConstBool(evalFCmp(in.Pred, cs[0].F, cs[1].F))
+	case ir.OpSelect:
+		if cs[0].I != 0 {
+			return cs[1]
+		}
+		return cs[2]
+	case ir.OpSExt:
+		return ir.ConstInt(in.Ty, cs[0].I) // constants carried sign-extended
+	case ir.OpZExt:
+		bits := in.Ops[0].Type().Kind.Bits()
+		if bits >= 64 {
+			return ir.ConstInt(in.Ty, cs[0].I)
+		}
+		return ir.ConstInt(in.Ty, cs[0].I&(int64(1)<<uint(bits)-1))
+	case ir.OpTrunc:
+		return ir.ConstInt(in.Ty, cs[0].I)
+	case ir.OpSIToFP:
+		return ir.ConstFloat(in.Ty, float64(cs[0].I))
+	case ir.OpFPToSI:
+		return ir.ConstInt(in.Ty, int64(cs[0].F))
+	case ir.OpFPExt, ir.OpFPTrunc:
+		if k == ir.F32 {
+			return ir.ConstFloat(in.Ty, float64(float32(cs[0].F)))
+		}
+		return ir.ConstFloat(in.Ty, cs[0].F)
+	}
+	return nil
+}
+
+func evalICmp(p ir.CmpPred, a, b int64) bool {
+	switch p {
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	case ir.CmpSLT:
+		return a < b
+	case ir.CmpSLE:
+		return a <= b
+	case ir.CmpSGT:
+		return a > b
+	case ir.CmpSGE:
+		return a >= b
+	}
+	return false
+}
+
+func evalFCmp(p ir.CmpPred, a, b float64) bool {
+	switch p {
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	case ir.CmpSLT:
+		return a < b
+	case ir.CmpSLE:
+		return a <= b
+	case ir.CmpSGT:
+		return a > b
+	case ir.CmpSGE:
+		return a >= b
+	}
+	return false
+}
+
+// simplifyIdentity returns an existing value the instruction reduces to
+// (identity/absorption laws), or nil. It never creates new instructions.
+func simplifyIdentity(in *ir.Instr) ir.Value {
+	if in.Ty.IsVector() {
+		return nil
+	}
+	c1, ok1 := constOp(in, 1)
+	c0, ok0 := constOp(in, 0)
+	switch in.Op {
+	case ir.OpAdd, ir.OpFAdd, ir.OpOr, ir.OpXor:
+		if ok1 && c1.IsZero() {
+			return in.Ops[0]
+		}
+		if ok0 && c0.IsZero() {
+			return in.Ops[1]
+		}
+		if in.Op == ir.OpXor && in.Ops[0] == in.Ops[1] {
+			return ir.ConstInt(in.Ty, 0)
+		}
+		if in.Op == ir.OpOr && in.Ops[0] == in.Ops[1] {
+			return in.Ops[0]
+		}
+	case ir.OpSub, ir.OpFSub:
+		if ok1 && c1.IsZero() {
+			return in.Ops[0]
+		}
+		if in.Ops[0] == in.Ops[1] && in.Op == ir.OpSub {
+			return ir.ConstInt(in.Ty, 0)
+		}
+	case ir.OpMul, ir.OpFMul:
+		if ok1 && c1.IsOne() {
+			return in.Ops[0]
+		}
+		if ok0 && c0.IsOne() {
+			return in.Ops[1]
+		}
+		if in.Op == ir.OpMul && (ok1 && c1.IsZero() || ok0 && c0.IsZero()) {
+			return ir.ConstInt(in.Ty, 0)
+		}
+	case ir.OpSDiv, ir.OpUDiv, ir.OpFDiv:
+		if ok1 && c1.IsOne() {
+			return in.Ops[0]
+		}
+	case ir.OpAnd:
+		if in.Ops[0] == in.Ops[1] {
+			return in.Ops[0]
+		}
+		if ok1 && c1.IsZero() || ok0 && c0.IsZero() {
+			return ir.ConstInt(in.Ty, 0)
+		}
+		if ok1 && allOnes(c1, in.Ty.Kind) {
+			return in.Ops[0]
+		}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if ok1 && c1.IsZero() {
+			return in.Ops[0]
+		}
+	case ir.OpICmp:
+		if in.Ops[0] == in.Ops[1] {
+			switch in.Pred {
+			case ir.CmpEQ, ir.CmpSLE, ir.CmpSGE:
+				return ir.ConstBool(true)
+			case ir.CmpNE, ir.CmpSLT, ir.CmpSGT:
+				return ir.ConstBool(false)
+			}
+		}
+	case ir.OpSelect:
+		if c, ok := constOp(in, 0); ok {
+			if c.I != 0 {
+				return in.Ops[1]
+			}
+			return in.Ops[2]
+		}
+		if in.Ops[1] == in.Ops[2] {
+			return in.Ops[1]
+		}
+	case ir.OpGEP:
+		if ok1 && c1.IsZero() {
+			return in.Ops[0]
+		}
+	}
+	return nil
+}
+
+func constOp(in *ir.Instr, i int) (*ir.Const, bool) {
+	if i >= len(in.Ops) {
+		return nil, false
+	}
+	c, ok := in.Ops[i].(*ir.Const)
+	return c, ok
+}
+
+func allOnes(c *ir.Const, k ir.Kind) bool {
+	bits := k.Bits()
+	if bits >= 64 {
+		return c.I == -1
+	}
+	return c.I == int64(1)<<uint(bits)-1 || c.I == -1
+}
+
+func isPowerOfTwo(v int64) (int64, bool) {
+	if v <= 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	n := int64(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n, true
+}

@@ -1,0 +1,10 @@
+package passes
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func linkFor(m *ir.Module) (*machine.Image, error) { return machine.Link(m) }
+
+func newMachine() *machine.Machine { return machine.New(machine.CortexA57()) }

@@ -1,0 +1,77 @@
+// Package synth provides the synthetic benchmark functions of Table 4.1
+// (Ackley, Rosenbrock, Rastrigin, Griewank) at arbitrary dimensionality,
+// used to validate the AIBO substrate.
+package synth
+
+import "math"
+
+// Function is a named synthetic objective with its canonical search box.
+type Function struct {
+	Name   string
+	Lo, Hi float64 // per-dimension bounds
+	Eval   func(x []float64) float64
+}
+
+// Ackley is multimodal with a single deep global minimum at the origin.
+func Ackley() Function {
+	return Function{Name: "Ackley", Lo: -5, Hi: 10, Eval: func(x []float64) float64 {
+		n := float64(len(x))
+		s1, s2 := 0.0, 0.0
+		for _, v := range x {
+			s1 += v * v
+			s2 += math.Cos(2 * math.Pi * v)
+		}
+		return -20*math.Exp(-0.2*math.Sqrt(s1/n)) - math.Exp(s2/n) + 20 + math.E
+	}}
+}
+
+// Rosenbrock features a narrow curved valley.
+func Rosenbrock() Function {
+	return Function{Name: "Rosenbrock", Lo: -5, Hi: 10, Eval: func(x []float64) float64 {
+		s := 0.0
+		for i := 0; i+1 < len(x); i++ {
+			a := x[i+1] - x[i]*x[i]
+			b := 1 - x[i]
+			s += 100*a*a + b*b
+		}
+		return s
+	}}
+}
+
+// Rastrigin has a large number of regularly spaced local minima.
+func Rastrigin() Function {
+	return Function{Name: "Rastrigin", Lo: -5.12, Hi: 5.12, Eval: func(x []float64) float64 {
+		s := 10 * float64(len(x))
+		for _, v := range x {
+			s += v*v - 10*math.Cos(2*math.Pi*v)
+		}
+		return s
+	}}
+}
+
+// Griewank combines a quadratic bowl with oscillatory products.
+func Griewank() Function {
+	return Function{Name: "Griewank", Lo: -10, Hi: 10, Eval: func(x []float64) float64 {
+		s, p := 0.0, 1.0
+		for i, v := range x {
+			s += v * v / 4000
+			p *= math.Cos(v / math.Sqrt(float64(i+1)))
+		}
+		return s - p + 1
+	}}
+}
+
+// All returns the four synthetic functions.
+func All() []Function {
+	return []Function{Ackley(), Rosenbrock(), Rastrigin(), Griewank()}
+}
+
+// ByName finds a function.
+func ByName(name string) (Function, bool) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Function{}, false
+}

@@ -1,0 +1,60 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGlobalMinima(t *testing.T) {
+	for _, f := range All() {
+		for _, d := range []int{2, 10, 50} {
+			x := make([]float64, d)
+			if f.Name == "Rosenbrock" {
+				for i := range x {
+					x[i] = 1
+				}
+			}
+			if v := f.Eval(x); math.Abs(v) > 1e-9 {
+				t.Errorf("%s at %dD: f(min) = %v, want 0", f.Name, d, v)
+			}
+		}
+	}
+}
+
+func TestBoundsAndPositivity(t *testing.T) {
+	for _, f := range All() {
+		if f.Lo >= f.Hi {
+			t.Errorf("%s: bad bounds [%v,%v]", f.Name, f.Lo, f.Hi)
+		}
+		// Away from the minimum the functions must be positive.
+		x := []float64{f.Hi, f.Hi, f.Lo}
+		if v := f.Eval(x); v <= 0 {
+			t.Errorf("%s: f(corner) = %v, want > 0", f.Name, v)
+		}
+	}
+}
+
+func TestMultimodality(t *testing.T) {
+	// Rastrigin has local minima at integer lattice points: gradient is zero
+	// and value positive at x = (1,1).
+	r := Rastrigin()
+	well := r.Eval([]float64{1, 1})
+	barrier := r.Eval([]float64{0.5, 0.5})
+	if well <= 0 || well >= 10 {
+		t.Fatalf("Rastrigin(1,1) = %v, expected a shallow well", well)
+	}
+	if barrier <= well+10 {
+		t.Fatalf("no barrier between wells: f(0.5,0.5)=%v, f(1,1)=%v", barrier, well)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Ackley", "Rosenbrock", "Rastrigin", "Griewank"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%s) failed", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted unknown function")
+	}
+}

@@ -1,0 +1,141 @@
+package tuners
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Random-forest regression from scratch: CART trees with bootstrap sampling
+// and random feature subsets, used by the BOCA-style baseline as its
+// surrogate model (BOCA uses a random forest over raw compiler options).
+
+// rfOptions configure forest training.
+type rfOptions struct {
+	Trees       int
+	MaxDepth    int
+	MinSamples  int
+	FeatureFrac float64 // fraction of features tried per split
+}
+
+func defaultRFOptions() rfOptions {
+	return rfOptions{Trees: 30, MaxDepth: 10, MinSamples: 3, FeatureFrac: 0.5}
+}
+
+type rfNode struct {
+	feature  int
+	thresh   float64
+	value    float64
+	variance float64
+	left     *rfNode
+	right    *rfNode
+}
+
+type forest struct {
+	trees []*rfNode
+}
+
+// fitForest trains a regression forest.
+func fitForest(X [][]float64, Y []float64, opts rfOptions, rng *rand.Rand) *forest {
+	f := &forest{}
+	n := len(X)
+	for t := 0; t < opts.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		f.trees = append(f.trees, buildTree(X, Y, idx, opts, rng, 0))
+	}
+	return f
+}
+
+func meanVar(Y []float64, idx []int) (float64, float64) {
+	m := 0.0
+	for _, i := range idx {
+		m += Y[i]
+	}
+	m /= float64(len(idx))
+	v := 0.0
+	for _, i := range idx {
+		d := Y[i] - m
+		v += d * d
+	}
+	return m, v / float64(len(idx))
+}
+
+func buildTree(X [][]float64, Y []float64, idx []int, opts rfOptions, rng *rand.Rand, depth int) *rfNode {
+	mean, variance := meanVar(Y, idx)
+	node := &rfNode{feature: -1, value: mean, variance: variance}
+	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinSamples || variance < 1e-12 {
+		return node
+	}
+	d := len(X[0])
+	nTry := int(float64(d)*opts.FeatureFrac) + 1
+	bestGain := 0.0
+	bestF, bestT := -1, 0.0
+	var bestL, bestR []int
+	for try := 0; try < nTry; try++ {
+		f := rng.Intn(d)
+		// Candidate threshold: midpoint of two random samples.
+		a := X[idx[rng.Intn(len(idx))]][f]
+		b := X[idx[rng.Intn(len(idx))]][f]
+		th := (a + b) / 2
+		var li, ri []int
+		for _, i := range idx {
+			if X[i][f] <= th {
+				li = append(li, i)
+			} else {
+				ri = append(ri, i)
+			}
+		}
+		if len(li) < opts.MinSamples || len(ri) < opts.MinSamples {
+			continue
+		}
+		_, lv := meanVar(Y, li)
+		_, rv := meanVar(Y, ri)
+		gain := variance - (float64(len(li))*lv+float64(len(ri))*rv)/float64(len(idx))
+		if gain > bestGain {
+			bestGain, bestF, bestT = gain, f, th
+			bestL, bestR = li, ri
+		}
+	}
+	if bestF < 0 {
+		return node
+	}
+	node.feature = bestF
+	node.thresh = bestT
+	node.left = buildTree(X, Y, bestL, opts, rng, depth+1)
+	node.right = buildTree(X, Y, bestR, opts, rng, depth+1)
+	return node
+}
+
+func (n *rfNode) predict(x []float64) float64 {
+	for n.feature >= 0 {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Predict returns the forest mean and the across-tree standard deviation
+// (the uncertainty proxy BOCA's acquisition uses).
+func (f *forest) Predict(x []float64) (float64, float64) {
+	if len(f.trees) == 0 {
+		return 0, 1
+	}
+	vals := make([]float64, len(f.trees))
+	m := 0.0
+	for i, t := range f.trees {
+		vals[i] = t.predict(x)
+		m += vals[i]
+	}
+	m /= float64(len(vals))
+	v := 0.0
+	for _, x2 := range vals {
+		d := x2 - m
+		v += d * d
+	}
+	return m, math.Sqrt(v / float64(len(vals)))
+}
