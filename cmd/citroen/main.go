@@ -28,6 +28,7 @@ func main() {
 		platform = flag.String("platform", "arm", "arm or x86")
 		adaptive = flag.Bool("adaptive", true, "adaptive multi-module budget allocation")
 		lambda   = flag.Int("lambda", 9, "candidate compilations per iteration")
+		workers  = flag.Int("workers", 0, "candidate-compilation workers (0 = GOMAXPROCS, 1 = serial)")
 		feature  = flag.String("feature", "stats", "cost-model features: stats|autophase|tokenmix|rawseq")
 		verbose  = flag.Bool("v", false, "print the measurement trace")
 	)
@@ -66,6 +67,7 @@ func main() {
 	opts.Budget = *budget
 	opts.Adaptive = *adaptive
 	opts.Lambda = *lambda
+	opts.Workers = *workers
 	switch *feature {
 	case "autophase":
 		opts.Feature = core.FeatAutophase
@@ -91,6 +93,8 @@ func main() {
 	fmt.Printf("\nBest speedup over -O3: %.3fx (time %.0f cycles)\n", res.BestSpeedup, res.BestTime)
 	fmt.Printf("Measurements: %d (saved by dedup: %d), compilations: %d\n",
 		res.Breakdown.Measures, res.SavedMeasurements, res.Breakdown.Compiles)
+	fmt.Printf("Compile cache: %d hits / %d misses (pipeline runs saved by incumbent reuse)\n",
+		res.Breakdown.CacheHits, res.Breakdown.CacheMisses)
 	fmt.Printf("Per-module budget: %v\n", res.ModuleBudget)
 	for mod, seq := range res.BestSeqs {
 		fmt.Printf("\nBest sequence for %s (%d passes):\n  %s\n", mod, len(seq), strings.Join(seq, ","))

@@ -26,6 +26,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base random seed")
 		platform = flag.String("platform", "arm", "simulated platform: arm or x86")
 		benchCSV = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		workers  = flag.Int("workers", 0, "candidate-compilation workers (0 = GOMAXPROCS, 1 = serial)")
 		scale    = flag.Float64("scale", 1, "problem-size scale for synthetic experiments")
 		paper    = flag.Bool("paper", false, "use paper-scale defaults (budget 100, 3 repeats)")
 	)
@@ -51,6 +52,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Platform = *platform
 	cfg.Scale = *scale
+	cfg.Workers = *workers
 	if *benchCSV != "" {
 		cfg.Benchmarks = strings.Split(*benchCSV, ",")
 	}

@@ -5,8 +5,11 @@
 package bench
 
 import (
+	"container/list"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/irgen"
@@ -232,29 +235,84 @@ type Platform struct {
 func ARM() Platform { return Platform{Prof: machine.CortexA57(), NoiseStd: 0.006} }
 func X86() Platform { return Platform{Prof: machine.Zen3(), NoiseStd: 0.004} }
 
+// DefaultCacheCap is the default compiled-module cache capacity (entries).
+// Incumbent sequences repeat on every measurement, so even a small LRU keeps
+// the hot set resident; the cap bounds memory on long tuning runs where most
+// candidate sequences are seen once.
+const DefaultCacheCap = 512
+
 // Evaluator compiles benchmark modules under pass sequences and measures the
 // result, implementing the compile→stats→profile→differential-test cycle.
+//
+// CompileModule is safe for concurrent use (the tuner's evaluation pool fans
+// candidate compilations across goroutines). Measure and the profiling
+// helpers share the measurement RNG and must stay on one goroutine.
 type Evaluator struct {
 	Bench    *Benchmark
 	Plat     Platform
 	Datasets int
 	Runs     int // timing repetitions per measurement
+	// CacheCap bounds the compiled-module cache: 0 means DefaultCacheCap,
+	// negative disables memoisation entirely (every compile re-runs the
+	// pipeline, the pre-cache behaviour).
+	CacheCap int
 	meas     *machine.Measurement
 	pristine [][]*ir.Module // per dataset
 	refOut   [][]machine.OutputEvent
 	o3Time   float64
 	o3Stats  passes.Stats
 
-	// Counters for Fig 5.12-style accounting.
+	// Compiled-module memo cache: (dataset, module, seq hash) → post-pipeline
+	// clone + stats. Guarded by mu together with all counters below.
+	mu        sync.Mutex
+	cache     map[seqKey]*list.Element
+	lru       *list.List // front = most recently used *cacheEntry
+	cacheHits int
+	cacheMiss int
+
+	// Counters for Fig 5.12-style accounting. Compilations counts actual
+	// pass-pipeline executions (cache hits do not re-run pipelines).
 	Compilations int
 	Measurements int
+}
+
+// seqKey identifies one compiled module build.
+type seqKey struct {
+	dataset int
+	module  string
+	hash    uint64
+}
+
+// cacheEntry is an LRU node. mod is never mutated after insertion; readers
+// take clones.
+type cacheEntry struct {
+	key   seqKey
+	mod   *ir.Module
+	stats passes.Stats
+}
+
+// seqHash fingerprints a pass sequence with FNV-1a. nil (the -O3 pipeline)
+// hashes differently from an explicit empty sequence.
+func seqHash(seq []string) uint64 {
+	h := fnv.New64a()
+	if seq == nil {
+		io.WriteString(h, "\x00O3")
+		return h.Sum64()
+	}
+	for _, p := range seq {
+		io.WriteString(h, p)
+		h.Write([]byte{1})
+	}
+	return h.Sum64()
 }
 
 // NewEvaluator builds the evaluator and its -O3 baseline.
 func NewEvaluator(b *Benchmark, plat Platform, seed int64) (*Evaluator, error) {
 	ev := &Evaluator{
 		Bench: b, Plat: plat, Datasets: 2, Runs: 3,
-		meas: machine.NewMeasurement(machine.New(plat.Prof), plat.NoiseStd, seed),
+		meas:  machine.NewMeasurement(machine.New(plat.Prof), plat.NoiseStd, seed),
+		cache: map[seqKey]*list.Element{},
+		lru:   list.New(),
 	}
 	for ds := 0; ds < ev.Datasets; ds++ {
 		mods := b.Build(ds, plat.Prof.VecWidth64)
@@ -281,6 +339,13 @@ func NewEvaluator(b *Benchmark, plat Platform, seed int64) (*Evaluator, error) {
 		return nil, err
 	}
 	ev.o3Time, ev.o3Stats = t, st
+	// The baseline build is setup, not search work: reset the accounting so
+	// counters reflect what the tuner spends. The O3-compiled modules stay in
+	// the cache — every later measurement reuses them for unchanged modules.
+	ev.Compilations, ev.Measurements = 0, 0
+	ev.mu.Lock()
+	ev.cacheHits, ev.cacheMiss = 0, 0
+	ev.mu.Unlock()
 	return ev, nil
 }
 
@@ -303,27 +368,97 @@ func (ev *Evaluator) Modules() []string { return ev.Bench.ModuleNames() }
 
 // CompileModule applies seq (nil = O3) to a fresh copy of the named module
 // (dataset 0) and returns it with its compilation statistics. This is the
-// cheap stats-extraction step: no execution happens.
+// cheap stats-extraction step: no execution happens. Safe for concurrent use.
 func (ev *Evaluator) CompileModule(name string, seq []string) (*ir.Module, passes.Stats, error) {
-	ev.Compilations++
-	for _, m := range ev.pristine[0] {
-		if m.Name != name {
-			continue
+	return ev.compiledFor(0, name, seq)
+}
+
+// CacheCounters returns the compiled-module cache hit/miss counts since the
+// evaluator was built (the baseline build does not count).
+func (ev *Evaluator) CacheCounters() (hits, misses int) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.cacheHits, ev.cacheMiss
+}
+
+// compiledFor returns the named module of the given dataset compiled under
+// seq (nil = O3), memoised on (dataset, module, seq). The returned module is
+// a private clone the caller may link and mutate; the returned stats are a
+// private copy. The pipeline only actually runs on a cache miss, which is
+// what makes repeated measurements of unchanged incumbents cheap.
+func (ev *Evaluator) compiledFor(ds int, name string, seq []string) (*ir.Module, passes.Stats, error) {
+	var pristine *ir.Module
+	for _, m := range ev.pristine[ds] {
+		if m.Name == name {
+			pristine = m
+			break
 		}
-		c := m.Clone()
-		st := passes.Stats{}
-		var err error
-		if seq == nil {
-			err = passes.ApplyLevel(c, "O3", st)
-		} else {
-			err = passes.Apply(c, seq, st, false)
-		}
-		if err != nil {
-			return nil, nil, err
-		}
-		return c, st, nil
 	}
-	return nil, nil, fmt.Errorf("bench: unknown module %q", name)
+	if pristine == nil {
+		return nil, nil, fmt.Errorf("bench: unknown module %q", name)
+	}
+
+	capacity := ev.CacheCap
+	if capacity == 0 {
+		capacity = DefaultCacheCap
+	}
+	key := seqKey{dataset: ds, module: name, hash: seqHash(seq)}
+	if capacity > 0 {
+		ev.mu.Lock()
+		if e, ok := ev.cache[key]; ok {
+			ev.lru.MoveToFront(e)
+			ev.cacheHits++
+			ce := e.Value.(*cacheEntry)
+			ev.mu.Unlock()
+			// The cached instance is immutable; hand out a clone (Link
+			// renumbers values in place) and a stats copy.
+			return ce.mod.Clone(), copyStats(ce.stats), nil
+		}
+		ev.cacheMiss++
+		ev.Compilations++
+		ev.mu.Unlock()
+	} else {
+		ev.mu.Lock()
+		ev.Compilations++
+		ev.mu.Unlock()
+	}
+
+	// Compile outside the lock so concurrent candidate builds overlap. Two
+	// goroutines racing on the same key at worst compile twice; the cache
+	// stays consistent because entries are immutable.
+	c := pristine.Clone()
+	st := passes.Stats{}
+	var err error
+	if seq == nil {
+		err = passes.ApplyLevel(c, "O3", st)
+	} else {
+		err = passes.Apply(c, seq, st, false)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if capacity > 0 {
+		ev.mu.Lock()
+		if _, ok := ev.cache[key]; !ok {
+			ev.cache[key] = ev.lru.PushFront(&cacheEntry{key: key, mod: c, stats: st})
+			for ev.lru.Len() > capacity {
+				old := ev.lru.Back()
+				ev.lru.Remove(old)
+				delete(ev.cache, old.Value.(*cacheEntry).key)
+			}
+		}
+		ev.mu.Unlock()
+		return c.Clone(), copyStats(st), nil
+	}
+	return c, st, nil
+}
+
+func copyStats(st passes.Stats) passes.Stats {
+	out := make(passes.Stats, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
 }
 
 // timeWithSequences builds every dataset with the per-module sequences
@@ -333,22 +468,18 @@ func (ev *Evaluator) timeWithSequences(seqs map[string][]string) (float64, passe
 	stats := passes.Stats{}
 	var t0 float64
 	for ds := 0; ds < ev.Datasets; ds++ {
-		mods := cloneAll(ev.pristine[ds])
-		for _, m := range mods {
-			seq, ok := seqs[m.Name]
-			var err error
-			st := passes.Stats{}
-			if !ok || seq == nil {
-				err = passes.ApplyLevel(m, "O3", st)
-			} else {
-				err = passes.Apply(m, seq, st, false)
-			}
+		// Pipelines only re-run for modules whose sequence changed since the
+		// last build; unchanged incumbents come back as cached clones.
+		mods := make([]*ir.Module, 0, len(ev.pristine[ds]))
+		for _, pm := range ev.pristine[ds] {
+			m, st, err := ev.compiledFor(ds, pm.Name, seqs[pm.Name])
 			if err != nil {
 				return 0, nil, err
 			}
 			if ds == 0 {
 				stats.Merge(st)
 			}
+			mods = append(mods, m)
 		}
 		img, err := machine.Link(mods...)
 		if err != nil {

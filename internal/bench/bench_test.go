@@ -173,3 +173,117 @@ func TestO3BeatsO0OnEveryBenchmark(t *testing.T) {
 	}
 	_ = passes.Names
 }
+
+// TestEvaluatorCacheReusesIncumbentCompiles pins the memo cache: measuring a
+// configuration only re-runs pass pipelines for modules whose sequence
+// changed since the last build; unchanged incumbents come back as cached
+// post-pipeline clones.
+func TestEvaluatorCacheReusesIncumbentCompiles(t *testing.T) {
+	ev, err := NewEvaluator(ByName("telecom_gsm"), ARM(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Compilations != 0 {
+		t.Fatalf("counters not reset after baseline: %d", ev.Compilations)
+	}
+	// The O3 baseline modules were cached during construction: re-measuring
+	// the O3 build must not compile anything.
+	if _, _, err := ev.Measure(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Compilations != 0 {
+		t.Fatalf("O3 incumbents recompiled: %d pipeline runs", ev.Compilations)
+	}
+	hits, misses := ev.CacheCounters()
+	if hits == 0 || misses != 0 {
+		t.Fatalf("cache counters after O3 re-measure: %d hits / %d misses", hits, misses)
+	}
+
+	// Change one module: only that module recompiles, once per dataset.
+	seqs := map[string][]string{"long_term": {"mem2reg", "dce"}}
+	if _, _, err := ev.Measure(seqs); err != nil {
+		t.Fatal(err)
+	}
+	afterChange := ev.Compilations
+	if afterChange != ev.Datasets {
+		t.Fatalf("changed module: %d pipeline runs, want %d (one per dataset)",
+			afterChange, ev.Datasets)
+	}
+	// Re-measuring the identical configuration must not compile at all.
+	if _, _, err := ev.Measure(seqs); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Compilations != afterChange {
+		t.Fatalf("unchanged incumbents recompiled: %d -> %d pipeline runs",
+			afterChange, ev.Compilations)
+	}
+}
+
+// TestEvaluatorCacheDoesNotChangeResults builds the same configuration on a
+// cached and an uncached evaluator with identical seeds: measured times must
+// be bit-identical, i.e. cache reuse yields the same binaries.
+func TestEvaluatorCacheDoesNotChangeResults(t *testing.T) {
+	cached, err := NewEvaluator(ByName("telecom_gsm"), ARM(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewEvaluator(ByName("telecom_gsm"), ARM(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.CacheCap = -1
+	seqs := map[string][]string{"long_term": {"mem2reg", "slp-vectorizer", "dce"}}
+	for i := 0; i < 3; i++ {
+		tc, spc, err := cached.Measure(seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, spp, err := plain.Measure(seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc != tp || spc != spp {
+			t.Fatalf("round %d: cached (%v, %v) != uncached (%v, %v)", i, tc, spc, tp, spp)
+		}
+	}
+	if h, _ := plain.CacheCounters(); h != 0 {
+		t.Fatalf("disabled cache still recorded %d hits", h)
+	}
+	if h, _ := cached.CacheCounters(); h == 0 {
+		t.Fatal("cache never hit on repeated measurements")
+	}
+	if plain.Compilations <= cached.Compilations {
+		t.Fatalf("cache saved nothing: %d vs %d pipeline runs",
+			cached.Compilations, plain.Compilations)
+	}
+}
+
+// TestEvaluatorCacheEviction bounds the cache: with a tiny capacity the LRU
+// must evict rather than grow, and evictions must not corrupt results.
+func TestEvaluatorCacheEviction(t *testing.T) {
+	ev, err := NewEvaluator(ByName("telecom_gsm"), ARM(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.CacheCap = 2
+	ref, _, err := ev.Measure(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		seqs := map[string][]string{"long_term": {"mem2reg", "dce"}}
+		if i%2 == 1 {
+			seqs = nil
+		}
+		tm, _, err := ev.Measure(seqs)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if seqs == nil && tm <= 0 {
+			t.Fatalf("round %d: bad time %v (ref %v)", i, tm, ref)
+		}
+	}
+	if ev.lru.Len() > 2 {
+		t.Fatalf("cache grew past its cap: %d entries", ev.lru.Len())
+	}
+}

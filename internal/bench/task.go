@@ -23,5 +23,6 @@ func (ev *Evaluator) Task() core.Task {
 			hot, _, err := ev.HotModules(coverage)
 			return hot, err
 		},
+		CacheFn: ev.CacheCounters,
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/acq"
+	"repro/internal/evalpool"
 	"repro/internal/gp"
 	"repro/internal/heuristic"
 	"repro/internal/passes"
@@ -52,8 +53,16 @@ type Options struct {
 	// SeedSequences inject known-good pass sequences (e.g. the winners of a
 	// previous program's tuning run) into every module's heuristic
 	// generators — the paper's §6.3.2 program-independent pass-correlation
-	// transfer. They cost no budget until selected.
+	// transfer. They cost no budget until selected. Every pass name must be
+	// in the vocabulary; Run rejects unknown names.
 	SeedSequences [][]string
+	// Workers sizes the candidate-compilation pool: each iteration's
+	// Lambda × |hot modules| candidate compilations fan out across this many
+	// goroutines. 0 uses GOMAXPROCS; 1 is the documented serial mode. All
+	// candidate generation and RNG draws happen outside the parallel region,
+	// so results are bit-identical for every worker count — only wall-clock
+	// changes. Tasks must support concurrent CompileModule when Workers != 1.
+	Workers int
 }
 
 // DefaultOptions mirror the paper's setup.
@@ -88,13 +97,18 @@ type StatImportance struct {
 
 // RuntimeBreakdown records where wall-clock time went (Fig 5.12).
 type RuntimeBreakdown struct {
-	GPFit    time.Duration
-	AcqMax   time.Duration // candidate generation + compilation + scoring
-	Compile  time.Duration
-	Measure  time.Duration
-	Total    time.Duration
+	GPFit   time.Duration
+	AcqMax  time.Duration // candidate generation + compilation + scoring
+	Compile time.Duration // summed per-candidate compile work (can exceed wall time when Workers > 1)
+	Measure time.Duration
+	Total   time.Duration
 	Measures int
 	Compiles int
+	// CacheHits/CacheMisses count compiled-module cache lookups when the
+	// Task's evaluator memoises builds (zero otherwise): hits are pipeline
+	// executions the incumbent-reuse cache saved.
+	CacheHits   int
+	CacheMisses int
 }
 
 // Result is the tuning outcome.
@@ -134,6 +148,7 @@ type Tuner struct {
 	task Task
 	opts Options
 	rng  *rand.Rand
+	pool *evalpool.Pool
 
 	vocab   []string
 	vIndex  map[string]int
@@ -165,6 +180,7 @@ func NewTuner(task Task, opts Options, seed int64) *Tuner {
 	}
 	return &Tuner{
 		task: task, opts: opts, rng: rand.New(rand.NewSource(seed)),
+		pool:  evalpool.New(opts.Workers),
 		vocab: vocab, vIndex: vi,
 		space:   heuristic.SeqSpace{Vocab: len(vocab), MinLen: opts.SeqMin, MaxLen: opts.SeqMax},
 		fi:      NewFeatureIndex(),
@@ -182,7 +198,25 @@ func (t *Tuner) seqStrings(seq []int) []string {
 	return out
 }
 
-func (t *Tuner) seqIndices(seq []string) []int {
+// seqIndices maps pass names to vocabulary indices, rejecting unknown names:
+// a typo in Options.SeedSequences must surface as an error instead of
+// silently dropping the pass and degrading transfer with no signal.
+func (t *Tuner) seqIndices(seq []string) ([]int, error) {
+	out := make([]int, 0, len(seq))
+	for _, p := range seq {
+		i, ok := t.vIndex[p]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown pass %q in sequence (not in the %d-pass vocabulary)", p, len(t.vocab))
+		}
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+// knownIndices keeps only in-vocabulary passes. It is used to seed the
+// generators with the -O3 pipeline under restricted vocabularies (e.g. the
+// Fig 5.10 LLVM-10 subset), where dropping the missing passes is the point.
+func (t *Tuner) knownIndices(seq []string) []int {
 	var out []int
 	for _, p := range seq {
 		if i, ok := t.vIndex[p]; ok {
@@ -210,17 +244,39 @@ func (t *Tuner) Run() (*Result, error) {
 	}
 	t.res.HotModules = hot
 
-	// Per-module state: O3 baseline features, generator portfolios.
-	o3Indices := t.seqIndices(passes.O3Sequence())
-	for _, name := range hot {
-		m, st, err := t.task.CompileModule(name, nil)
+	// Validate transfer seeds up front so a typo fails the run immediately
+	// rather than silently weakening the search.
+	seedIdx := make([][]int, 0, len(t.opts.SeedSequences))
+	for _, seedSeq := range t.opts.SeedSequences {
+		idx, err := t.seqIndices(seedSeq)
 		if err != nil {
-			return nil, fmt.Errorf("core: baseline compile of %s: %w", name, err)
+			return nil, fmt.Errorf("core: seed sequence: %w", err)
+		}
+		seedIdx = append(seedIdx, idx)
+	}
+
+	// Per-module state: O3 baseline features, generator portfolios. The
+	// baseline compiles are independent of each other and of the tuner RNG,
+	// so they fan out across the pool; results are indexed by hot order.
+	o3Indices := t.knownIndices(passes.O3Sequence())
+	baseFeats := make([]sparseVec, len(hot))
+	baseErrs := make([]error, len(hot))
+	t.pool.Map(len(hot), func(i int) {
+		m, st, err := t.task.CompileModule(hot[i], nil)
+		if err != nil {
+			baseErrs[i] = fmt.Errorf("core: baseline compile of %s: %w", hot[i], err)
+			return
+		}
+		baseFeats[i] = extract(t.opts.Feature, m, st, passes.O3Sequence())
+	})
+	for i, name := range hot {
+		if baseErrs[i] != nil {
+			return nil, baseErrs[i]
 		}
 		ms := &moduleState{
 			name:     name,
 			bestY:    1.0,
-			baseFeat: extract(t.opts.Feature, m, st, passes.O3Sequence()),
+			baseFeat: baseFeats[i],
 		}
 		ms.bestFeat = ms.baseFeat
 		ms.bestSeq = nil // nil = O3
@@ -228,7 +284,7 @@ func (t *Tuner) Run() (*Result, error) {
 		if t.opts.HeuristicInit {
 			des := heuristic.NewDES(t.space, rand.New(rand.NewSource(seed)))
 			if len(o3Indices) > 0 {
-				des.Seed(clampSeq(o3Indices, t.space), 1.0)
+				des.Seed(clampSeq(o3Indices, t.space, t.rng), 1.0)
 			}
 			ms.des = des
 			ms.gens = []heuristic.SeqOptimizer{
@@ -252,11 +308,11 @@ func (t *Tuner) Run() (*Result, error) {
 	// Cross-program transfer: measure the seed sequences first (they embody
 	// program-independent pass correlations, §6.3.2).
 	used := 0
-	for _, seedSeq := range t.opts.SeedSequences {
+	for _, si := range seedIdx {
 		if used >= t.opts.Budget {
 			break
 		}
-		idx := clampSeq(t.seqIndices(seedSeq), t.space)
+		idx := clampSeq(si, t.space, t.rng)
 		for _, ms := range t.mods {
 			if used >= t.opts.Budget {
 				break
@@ -300,13 +356,17 @@ func (t *Tuner) Run() (*Result, error) {
 	return t.res, nil
 }
 
-func clampSeq(seq []int, sp heuristic.SeqSpace) []int {
+// clampSeq bounds seq to the space's length limits. Padding genes are
+// resampled from rng: padding with a fixed index would silently inject
+// repeated copies of whichever pass happens to be first in the vocabulary,
+// biasing every short seed the same way.
+func clampSeq(seq []int, sp heuristic.SeqSpace, rng *rand.Rand) []int {
 	out := append([]int(nil), seq...)
 	if len(out) > sp.MaxLen {
 		out = out[:sp.MaxLen]
 	}
 	for len(out) < sp.MinLen {
-		out = append(out, 0)
+		out = append(out, rng.Intn(sp.Vocab))
 	}
 	return out
 }
@@ -404,8 +464,22 @@ type candidate struct {
 	dup bool
 }
 
+// candJob is one candidate evaluation fanned out on the pool: the inputs are
+// filled serially, the outputs by exactly one worker.
+type candJob struct {
+	ms      *moduleState
+	seq     []int
+	fv      sparseVec
+	ok      bool
+	compile time.Duration
+}
+
 // proposeCandidate generates, compiles and scores candidates for the target
-// modules and returns the acquisition argmax.
+// modules and returns the acquisition argmax. Candidate compilation — the
+// expensive, embarrassingly parallel part — fans out across the evaluation
+// pool; generation and scoring bracket it serially so every RNG draw and
+// every piece of shared tuner state stays single-threaded, making the result
+// independent of Options.Workers.
 func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 	tAcq := time.Now()
 	defer func() { t.res.Breakdown.AcqMax += time.Since(tAcq) }()
@@ -415,6 +489,41 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 		// Round-robin on the measurement count.
 		targets = []*moduleState{t.mods[len(t.Y)%len(t.mods)]}
 	}
+
+	// Phase 1 (serial): ask the generators for this round's candidates. The
+	// generators draw from their own per-module RNGs here, before any
+	// goroutine forks.
+	var jobs []candJob
+	for _, ms := range targets {
+		per := t.opts.Lambda / len(ms.gens)
+		if per < 1 {
+			per = 1
+		}
+		for _, gen := range ms.gens {
+			for _, seq := range gen.Ask(per) {
+				jobs = append(jobs, candJob{ms: ms, seq: seq})
+			}
+		}
+	}
+
+	// Phase 2 (parallel): compile and feature-extract all Lambda × |targets|
+	// candidates. Each worker writes only its own submit-order slot.
+	t.pool.Map(len(jobs), func(i int) {
+		j := &jobs[i]
+		names := t.seqStrings(j.seq)
+		tc := time.Now()
+		m, st, err := t.task.CompileModule(j.ms.name, names)
+		j.compile = time.Since(tc)
+		if err != nil {
+			return
+		}
+		j.fv = extract(t.opts.Feature, m, st, names)
+		j.ok = true
+	})
+
+	// Phase 3 (serial): score in submit order. The model-free acquisition
+	// draw (t.rng.Float64()) and the feature-index growth inside
+	// denseProgram both live here, outside the parallel region.
 	bestY := t.bestObservedY()
 	cfg := acq.Config{Kind: acq.UCB, Beta: t.opts.Beta}
 	if t.model != nil {
@@ -424,39 +533,34 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 
 	best := candidate{af: math.Inf(-1)}
 	var bestFV map[string]sparseVec
-	for _, ms := range targets {
-		per := t.opts.Lambda / len(ms.gens)
-		if per < 1 {
-			per = 1
+	for i := range jobs {
+		j := &jobs[i]
+		t.candsCompiled++
+		t.res.Breakdown.Compiles++
+		t.res.Breakdown.Compile += j.compile
+		if !j.ok {
+			continue
 		}
-		for _, gen := range ms.gens {
-			for _, seq := range gen.Ask(per) {
-				fv, ok := t.compileCandidate(ms, seq)
-				if !ok {
-					continue
-				}
-				prog := t.programFeatures(map[string]sparseVec{ms.name: fv})
-				dup := false
-				if _, seenBefore := t.measCut[t.programKey(prog)]; seenBefore {
-					dup = true
-					t.candsDup++
-				}
-				var af float64
-				if t.model == nil {
-					af = t.rng.Float64()
-				} else {
-					x := t.denseProgram(prog)
-					mu, sig := t.predictPadded(x)
-					af = cfg.FromPosterior(mu, sig)
-				}
-				if t.opts.CoverageAF {
-					af = cov.Score(af, fv.novelDims(t.seen, ms.name+"|"), dup)
-				}
-				if af > best.af {
-					best = candidate{ms: ms, seq: seq, af: af, fv: fv, dup: dup}
-					bestFV = prog
-				}
-			}
+		prog := t.programFeatures(map[string]sparseVec{j.ms.name: j.fv})
+		dup := false
+		if _, seenBefore := t.measCut[t.programKey(prog)]; seenBefore {
+			dup = true
+			t.candsDup++
+		}
+		var af float64
+		if t.model == nil {
+			af = t.rng.Float64()
+		} else {
+			x := t.denseProgram(prog)
+			mu, sig := t.predictPadded(x)
+			af = cfg.FromPosterior(mu, sig)
+		}
+		if t.opts.CoverageAF {
+			af = cov.Score(af, j.fv.novelDims(t.seen, j.ms.name+"|"), dup)
+		}
+		if af > best.af {
+			best = candidate{ms: j.ms, seq: j.seq, af: af, fv: j.fv, dup: dup}
+			bestFV = prog
 		}
 	}
 	if best.ms == nil {
@@ -547,7 +651,7 @@ func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]
 		ms.bestSeq = append([]int(nil), seq...)
 		ms.bestFeat = fv[ms.name]
 	}
-	bestSoFar := t.base / (t.bestObservedY() * t.base)
+	bestSoFar := 1 / t.bestObservedY()
 	t.res.Trace = append(t.res.Trace, TracePoint{
 		Measurement: len(t.res.Trace) + 1,
 		Module:      ms.name,
@@ -583,6 +687,9 @@ func (t *Tuner) finalize(start time.Time) {
 	t.res.BestSpeedup = 1 / bestY
 	if t.candsCompiled > 0 {
 		t.res.CandidateDupRate = float64(t.candsDup) / float64(t.candsCompiled)
+	}
+	if cs, ok := t.task.(CacheStatsReporter); ok {
+		t.res.Breakdown.CacheHits, t.res.Breakdown.CacheMisses = cs.CacheCounters()
 	}
 	t.res.Breakdown.Total = time.Since(start)
 	// ARD relevance ranking (Table 5.5).

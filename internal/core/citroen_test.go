@@ -2,8 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/heuristic"
 	"repro/internal/ir"
 	"repro/internal/passes"
 )
@@ -11,10 +16,12 @@ import (
 // syntheticTask is an in-memory Task over a tiny real benchmark-like module:
 // it compiles the paper's dot-product kernel and returns noisy cycle counts
 // from a static cost proxy, keeping core's unit tests independent of the
-// bench package (which imports core).
+// bench package (which imports core). CompileModule is called from the
+// tuner's evaluation pool, so its counter is mutex-guarded.
 type syntheticTask struct {
 	build    func() *ir.Module
 	baseline float64
+	mu       sync.Mutex
 	measures int
 	compiles int
 }
@@ -66,7 +73,9 @@ func (s *syntheticTask) cost(seq []string) (float64, error) {
 func (s *syntheticTask) Modules() []string { return []string{"mod"} }
 
 func (s *syntheticTask) CompileModule(mod string, seq []string) (*ir.Module, passes.Stats, error) {
+	s.mu.Lock()
 	s.compiles++
+	s.mu.Unlock()
 	m := s.build()
 	m.TargetVecWidth64 = 2
 	st := passes.Stats{}
@@ -83,7 +92,9 @@ func (s *syntheticTask) CompileModule(mod string, seq []string) (*ir.Module, pas
 }
 
 func (s *syntheticTask) Measure(seqs map[string][]string) (float64, error) {
+	s.mu.Lock()
 	s.measures++
+	s.mu.Unlock()
 	return s.cost(seqs["mod"])
 }
 
@@ -236,6 +247,111 @@ func TestCitroenAblationsRun(t *testing.T) {
 		if _, err := NewTuner(newSyntheticTask(t), o, int64(i)).Run(); err != nil {
 			t.Fatalf("variant %d: %v", i, err)
 		}
+	}
+}
+
+// TestCitroenWorkersDeterminism pins the tentpole guarantee of the parallel
+// evaluation engine: candidate generation and every RNG draw happen outside
+// the parallel region, so the serial mode (Workers: 1) and a heavily
+// oversubscribed pool must produce bit-identical tuning runs.
+func TestCitroenWorkersDeterminism(t *testing.T) {
+	run := func(workers int) *Result {
+		o := fastOpts()
+		o.Workers = workers
+		res, err := NewTuner(newSyntheticTask(t), o, 7).Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial.Trace, parallel.Trace) {
+		t.Fatalf("trace differs between Workers=1 and Workers=8:\n%v\nvs\n%v",
+			serial.Trace, parallel.Trace)
+	}
+	if serial.BestSpeedup != parallel.BestSpeedup {
+		t.Fatalf("best speedup differs: %v vs %v", serial.BestSpeedup, parallel.BestSpeedup)
+	}
+	if !reflect.DeepEqual(serial.BestSeqs, parallel.BestSeqs) {
+		t.Fatalf("best sequences differ: %v vs %v", serial.BestSeqs, parallel.BestSeqs)
+	}
+}
+
+// Regression: clampSeq used to pad short sequences with pass index 0,
+// silently injecting repeated copies of whichever pass is first in the
+// vocabulary. Padding must resample from the RNG instead.
+func TestClampSeqPadsWithoutPassZeroBias(t *testing.T) {
+	sp := heuristic.SeqSpace{Vocab: 40, MinLen: 8, MaxLen: 12}
+	rng := rand.New(rand.NewSource(1))
+	out := clampSeq([]int{5}, sp, rng)
+	if len(out) != sp.MinLen {
+		t.Fatalf("len = %d, want %d", len(out), sp.MinLen)
+	}
+	if out[0] != 5 {
+		t.Fatalf("existing genes rewritten: %v", out)
+	}
+	zeros := 0
+	for _, g := range out[1:] {
+		if g < 0 || g >= sp.Vocab {
+			t.Fatalf("pad gene %d outside vocabulary", g)
+		}
+		if g == 0 {
+			zeros++
+		}
+	}
+	if zeros == len(out)-1 {
+		t.Fatalf("padding still biased to pass 0: %v", out)
+	}
+	// Truncation side must still clamp to MaxLen.
+	long := make([]int, 30)
+	if got := clampSeq(long, sp, rng); len(got) != sp.MaxLen {
+		t.Fatalf("truncated len = %d, want %d", len(got), sp.MaxLen)
+	}
+}
+
+// Regression: seqIndices used to silently drop unknown pass names, so a typo
+// in Options.SeedSequences degraded transfer with no signal.
+func TestSeedSequenceUnknownPassErrors(t *testing.T) {
+	o := fastOpts()
+	o.Budget = 4
+	o.SeedSequences = [][]string{{"mem2reg", "no-such-pass", "dce"}}
+	_, err := NewTuner(newSyntheticTask(t), o, 11).Run()
+	if err == nil {
+		t.Fatal("typo in seed sequence not rejected")
+	}
+	if !strings.Contains(err.Error(), "no-such-pass") {
+		t.Fatalf("error does not name the unknown pass: %v", err)
+	}
+}
+
+// TestBestSpeedupTraceInvariant pins the fixed bestSoFar computation:
+// BestSpeedup must equal the running max of measured speedups (floored at
+// the -O3 observation, speedup 1) and therefore be monotone non-decreasing.
+func TestBestSpeedupTraceInvariant(t *testing.T) {
+	o := fastOpts()
+	o.Budget = 20
+	res, err := NewTuner(newSyntheticTask(t), o, 13).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace")
+	}
+	best := 1.0 // observation 0 is the -O3 build itself
+	for i, tp := range res.Trace {
+		if tp.Speedup > best {
+			best = tp.Speedup
+		}
+		if diff := tp.BestSpeedup - best; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trace %d: BestSpeedup %v, want running max %v", i, tp.BestSpeedup, best)
+		}
+		if i > 0 && tp.BestSpeedup < res.Trace[i-1].BestSpeedup {
+			t.Fatalf("trace %d: BestSpeedup decreased", i)
+		}
+	}
+	if res.BestSpeedup != res.Trace[len(res.Trace)-1].BestSpeedup {
+		t.Fatalf("final BestSpeedup %v != last trace point %v",
+			res.BestSpeedup, res.Trace[len(res.Trace)-1].BestSpeedup)
 	}
 }
 

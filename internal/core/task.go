@@ -23,7 +23,9 @@ type Task interface {
 	// Modules lists the tunable compilation units.
 	Modules() []string
 	// CompileModule applies seq to a fresh copy of the module. nil seq means
-	// the -O3 baseline pipeline. No execution happens.
+	// the -O3 baseline pipeline. No execution happens. The tuner calls this
+	// from its evaluation pool, so implementations must be safe for
+	// concurrent use unless the tuner runs with Options.Workers == 1.
 	CompileModule(mod string, seq []string) (*ir.Module, passes.Stats, error)
 	// Measure builds the program with the given per-module sequences
 	// (missing entries = -O3), runs it with differential testing and returns
@@ -36,6 +38,14 @@ type Task interface {
 	HotModules(coverage float64) ([]string, error)
 }
 
+// CacheStatsReporter is optionally implemented by Tasks whose evaluator
+// memoises compiled modules. The tuner copies the counters into
+// Result.Breakdown at the end of a run.
+type CacheStatsReporter interface {
+	// CacheCounters returns cumulative compiled-module cache hits and misses.
+	CacheCounters() (hits, misses int)
+}
+
 // BenchTask adapts bench.Evaluator-like objects to Task. It is defined via
 // small function fields so core does not import bench (avoiding a cycle
 // with experiment helpers).
@@ -45,6 +55,9 @@ type BenchTask struct {
 	MeasureFn  func(seqs map[string][]string) (float64, error)
 	BaselineFn func() float64
 	HotFn      func(coverage float64) ([]string, error)
+	// CacheFn, when set, reports the evaluator's compiled-module cache
+	// counters (see CacheStatsReporter).
+	CacheFn func() (hits, misses int)
 }
 
 // Modules implements Task.
@@ -63,3 +76,12 @@ func (t *BenchTask) BaselineTime() float64 { return t.BaselineFn() }
 
 // HotModules implements Task.
 func (t *BenchTask) HotModules(coverage float64) ([]string, error) { return t.HotFn(coverage) }
+
+// CacheCounters implements CacheStatsReporter; without a CacheFn it reports
+// an uncached evaluator (all zeros).
+func (t *BenchTask) CacheCounters() (hits, misses int) {
+	if t.CacheFn == nil {
+		return 0, 0
+	}
+	return t.CacheFn()
+}

@@ -1,0 +1,105 @@
+// Package evalpool provides a fixed-size worker pool for fanning independent
+// candidate evaluations (compile + feature extraction) across CPUs. Results
+// are indexed by submission order, so the outcome of a fan-out is identical
+// for any worker count: parallelism changes only the wall-clock, never the
+// data. Jobs that need randomness use MapSeeded, which derives a private RNG
+// per index from a base seed — workers never share an RNG, and no job's
+// random stream depends on which worker ran it.
+package evalpool
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a reusable fan-out executor with a fixed worker count. The zero
+// value is not usable; construct with New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count. workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 is the documented serial mode, where
+// every Map call runs its jobs inline in index order on the caller's
+// goroutine.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn(i) for every i in [0, n) and returns when all calls have
+// completed. fn must write its result into a caller-owned slot for index i
+// (e.g. results[i] = ...): that convention is what makes the fan-out
+// deterministic regardless of scheduling. fn must not touch shared mutable
+// state unless it synchronises on its own.
+//
+// With one worker (or n == 1) the calls run inline in index order. A panic
+// in any job is re-raised on the calling goroutine after the remaining
+// workers drain.
+func (p *Pool) Map(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		panMu sync.Mutex
+		pan   any
+	)
+	next.Store(-1)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panMu.Lock()
+							if pan == nil {
+								pan = r
+							}
+							panMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if pan != nil {
+		panic(pan)
+	}
+}
+
+// MapSeeded is Map with a per-index rand.Rand seeded with baseSeed + i, so
+// fn can draw randomness without sharing an RNG across workers. The streams
+// depend only on baseSeed and the index, never on the worker count, which
+// keeps randomised fan-outs bit-identical between serial and parallel runs.
+func (p *Pool) MapSeeded(n int, baseSeed int64, fn func(i int, rng *rand.Rand)) {
+	p.Map(n, func(i int) {
+		fn(i, rand.New(rand.NewSource(baseSeed+int64(i))))
+	})
+}

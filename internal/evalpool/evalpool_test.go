@@ -1,0 +1,79 @@
+package evalpool
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 8, 33} {
+		p := New(w)
+		if p.Workers() < 1 {
+			t.Fatalf("workers(%d) resolved to %d", w, p.Workers())
+		}
+		const n = 100
+		counts := make([]int32, n)
+		p.Map(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	p := New(8)
+	p.Map(0, func(int) { t.Fatal("fn called for n=0") })
+	ran := false
+	p.Map(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("single job not run")
+	}
+}
+
+func TestMapSerialModeRunsInIndexOrder(t *testing.T) {
+	p := New(1)
+	var got []int
+	p.Map(5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial order broken: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d of 5 jobs", len(got))
+	}
+}
+
+func TestMapSeededIdenticalAcrossWorkerCounts(t *testing.T) {
+	draw := func(workers int) []float64 {
+		out := make([]float64, 64)
+		New(workers).MapSeeded(64, 42, func(i int, rng *rand.Rand) {
+			out[i] = rng.Float64()
+		})
+		return out
+	}
+	serial, parallel := draw(1), draw(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("per-index RNG stream depends on worker count at %d: %v vs %v",
+				i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	New(4).Map(8, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+	t.Fatal("panic did not propagate")
+}

@@ -50,7 +50,7 @@ func runFig56(c Config) error {
 			}
 			for r := 0; r < c.Repeats; r++ {
 				seed := c.Seed + int64(r)*101
-				opts := core.DefaultOptions()
+				opts := c.tunerOptions()
 				opts.Budget = c.Budget
 				sp, _, err := runCitroen(b, plat, opts, seed)
 				if err != nil {
@@ -92,7 +92,7 @@ func runFig57(c Config) error {
 	for _, name := range names {
 		b := bench.ByName(name)
 		// One long run per method; read the trace at each budget point.
-		opts := core.DefaultOptions()
+		opts := c.tunerOptions()
 		opts.Budget = budgets[len(budgets)-1]
 		_, resC, err := runCitroen(b, plat, opts, c.Seed)
 		if err != nil {
@@ -191,7 +191,7 @@ func runFig58(c Config) error {
 		for _, name := range names {
 			b := bench.ByName(name)
 			for r := 0; r < c.Repeats; r++ {
-				opts := core.DefaultOptions()
+				opts := c.tunerOptions()
 				opts.Budget = c.Budget
 				v.mod(&opts)
 				sp, _, err := runCitroen(b, plat, opts, c.Seed+int64(r)*17)
@@ -219,7 +219,7 @@ func runFig59(c Config) error {
 		for _, name := range names {
 			b := bench.ByName(name)
 			for r := 0; r < c.Repeats; r++ {
-				opts := core.DefaultOptions()
+				opts := c.tunerOptions()
 				opts.Budget = c.Budget
 				opts.Feature = feat
 				sp, _, err := runCitroen(b, plat, opts, c.Seed+int64(r)*31)
@@ -253,7 +253,7 @@ func runFig510(c Config) error {
 		var sps []float64
 		for _, name := range names {
 			b := bench.ByName(name)
-			opts := core.DefaultOptions()
+			opts := c.tunerOptions()
 			opts.Budget = c.Budget
 			opts.Feature = variant.feat
 			opts.Vocab = vocab
@@ -299,7 +299,7 @@ func runFig511(c Config) error {
 	for _, g := range sortedKeys(groups) {
 		c.printf("\n[%s]\n", g)
 		for _, v := range groups[g] {
-			opts := core.DefaultOptions()
+			opts := c.tunerOptions()
 			opts.Budget = c.Budget
 			v.mod(&opts)
 			sp, _, err := runCitroen(b, plat, opts, c.Seed)
@@ -318,7 +318,7 @@ func runFig512(c Config) error {
 	if len(c.Benchmarks) > 0 {
 		b = bench.ByName(c.Benchmarks[0])
 	}
-	opts := core.DefaultOptions()
+	opts := c.tunerOptions()
 	opts.Budget = c.Budget
 	_, res, err := runCitroen(b, c.platform(), opts, c.Seed)
 	if err != nil {
@@ -336,6 +336,8 @@ func runFig512(c Config) error {
 	other := total - bd.Compile.Seconds() - bd.Measure.Seconds() - bd.GPFit.Seconds()
 	c.printf("  %-28s %6.1f%%\n", "acquisition + bookkeeping", 100*other/total)
 	c.printf("  total wall clock: %v; %d compiles, %d measurements\n", bd.Total, bd.Compiles, bd.Measures)
+	c.printf("  compile cache: %d hits / %d misses (pipeline runs saved by incumbent reuse)\n",
+		bd.CacheHits, bd.CacheMisses)
 	return nil
 }
 
@@ -352,7 +354,7 @@ func runAdaptive(c Config) error {
 	}
 	results := map[string]*core.Result{}
 	for _, m := range []mode{{"adaptive", true}, {"round-robin", false}} {
-		opts := core.DefaultOptions()
+		opts := c.tunerOptions()
 		opts.Budget = c.Budget
 		opts.Adaptive = m.adaptive
 		_, res, err := runCitroen(b, plat, opts, c.Seed)

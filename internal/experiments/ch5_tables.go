@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/passes"
 )
 
@@ -60,7 +59,7 @@ func runTab52(c Config) error {
 	if names := c.Benchmarks; len(names) > 0 {
 		b = bench.ByName(names[0])
 	}
-	opts := core.DefaultOptions()
+	opts := c.tunerOptions()
 	opts.Budget = c.Budget
 	_, res, err := runCitroen(b, c.platform(), opts, c.Seed)
 	if err != nil {
@@ -101,7 +100,7 @@ func runTab55(c Config) error {
 	if names := c.Benchmarks; len(names) > 0 {
 		b = bench.ByName(names[0])
 	}
-	opts := core.DefaultOptions()
+	opts := c.tunerOptions()
 	opts.Budget = c.Budget
 	_, res, err := runCitroen(b, c.platform(), opts, c.Seed)
 	if err != nil {

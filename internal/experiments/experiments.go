@@ -26,7 +26,11 @@ type Config struct {
 	Benchmarks []string
 	// Platform is "arm" or "x86".
 	Platform string
-	Out      io.Writer
+	// Workers sizes the tuner's candidate-compilation pool (see
+	// core.Options.Workers): 0 = GOMAXPROCS, 1 = serial. Results are
+	// identical for every value; only wall-clock changes.
+	Workers int
+	Out     io.Writer
 }
 
 // DefaultConfig is the fast (test-friendly) scale.
@@ -48,6 +52,15 @@ func (c Config) platform() bench.Platform {
 
 func (c Config) printf(format string, args ...any) {
 	fmt.Fprintf(c.Out, format, args...)
+}
+
+// tunerOptions returns the paper-default tuner options at this config's
+// budget and worker-pool size; experiments tweak the copy further.
+func (c Config) tunerOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Budget = c.Budget
+	o.Workers = c.Workers
+	return o
 }
 
 // Experiment is a registered driver.
@@ -106,7 +119,7 @@ func tunerSet() []tuners.Tuner {
 }
 
 // runCitroen runs CITROEN on a benchmark and returns the best speedup and
-// the full result.
+// the full result. Callers set opts.Workers from Config before passing opts.
 func runCitroen(b *bench.Benchmark, plat bench.Platform, opts core.Options, seed int64) (float64, *core.Result, error) {
 	ev, err := bench.NewEvaluator(b, plat, seed)
 	if err != nil {

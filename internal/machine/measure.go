@@ -35,12 +35,15 @@ func (ms *Measurement) TimeOnce(img *Image, entry string, args ...Val) (float64,
 }
 
 // TimeMedian runs entry `runs` times and returns the median of the noisy
-// samples, following the paper's repeated-measurement protocol.
+// samples, following the paper's repeated-measurement protocol. The returned
+// *Result is the one from the median run (the lower-middle sample for even
+// run counts), so callers inspecting outputs or cycle breakdowns see the run
+// whose timing was reported — not whichever run happened to finish last.
 func (ms *Measurement) TimeMedian(img *Image, entry string, runs int, args ...Val) (float64, *Result, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	var res *Result
+	results := make([]*Result, runs)
 	samples := make([]float64, runs)
 	for i := 0; i < runs; i++ {
 		t, r, err := ms.TimeOnce(img, entry, args...)
@@ -48,23 +51,30 @@ func (ms *Measurement) TimeMedian(img *Image, entry string, runs int, args ...Va
 			return 0, nil, err
 		}
 		samples[i] = t
-		res = r
+		results[i] = r
 	}
-	return median(samples), res, nil
+	med, idx := medianIndex(samples)
+	return med, results[idx], nil
 }
 
-func median(v []float64) float64 {
-	c := append([]float64(nil), v...)
-	for i := 1; i < len(c); i++ {
-		for j := i; j > 0 && c[j] < c[j-1]; j-- {
-			c[j], c[j-1] = c[j-1], c[j]
+// medianIndex returns the median of v (mean of the two middle samples for
+// even lengths) and the index in v of the middle sample (the lower middle
+// for even lengths). v is not modified.
+func medianIndex(v []float64) (float64, int) {
+	order := make([]int, len(v))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && v[order[j]] < v[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
-	n := len(c)
+	n := len(order)
 	if n%2 == 1 {
-		return c[n/2]
+		return v[order[n/2]], order[n/2]
 	}
-	return (c[n/2-1] + c[n/2]) / 2
+	return (v[order[n/2-1]] + v[order[n/2]]) / 2, order[n/2-1]
 }
 
 // OutputsMatch compares two output streams with a relative tolerance for

@@ -1,0 +1,74 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedianIndex(t *testing.T) {
+	cases := []struct {
+		v    []float64
+		med  float64
+		idx  int
+		name string
+	}{
+		{[]float64{7}, 7, 0, "single"},
+		{[]float64{3, 1, 2}, 2, 2, "odd"},
+		{[]float64{4, 1, 3, 2}, 2.5, 3, "even picks lower middle"},
+		{[]float64{5, 4, 3, 2, 1}, 3, 2, "descending"},
+	}
+	for _, c := range cases {
+		med, idx := medianIndex(c.v)
+		if med != c.med || idx != c.idx {
+			t.Fatalf("%s: medianIndex(%v) = (%v, %d), want (%v, %d)",
+				c.name, c.v, med, idx, c.med, c.idx)
+		}
+	}
+	// The input must not be reordered.
+	v := []float64{3, 1, 2}
+	medianIndex(v)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatalf("input mutated: %v", v)
+	}
+}
+
+// TestTimeMedianReturnsMedianRun pins the fix for TimeMedian returning the
+// *Result of whichever run happened to be last: the reported median must
+// match the median of the exact sample stream, and the result must belong to
+// the median run.
+func TestTimeMedianReturnsMedianRun(t *testing.T) {
+	m := buildSumProgram(32)
+	img, err := Link(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sibling measurement with the same seed reproduces the sample stream
+	// TimeMedian will observe.
+	probe := NewMeasurement(New(CortexA57()), 0.02, 99)
+	const runs = 5
+	samples := make([]float64, runs)
+	for i := range samples {
+		s, _, err := probe.TimeOnce(img, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples[i] = s
+	}
+	wantMed, _ := medianIndex(samples)
+
+	ms := NewMeasurement(New(CortexA57()), 0.02, 99)
+	med, res, err := ms.TimeMedian(img, "main", runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != wantMed {
+		t.Fatalf("median = %v, want %v (samples %v)", med, wantMed, samples)
+	}
+	if res == nil || res.Cycles <= 0 {
+		t.Fatalf("median run result missing: %+v", res)
+	}
+	// The noisy median must sit near the clean cycle count of its run.
+	if math.Abs(med-res.Cycles)/res.Cycles > 0.1 {
+		t.Fatalf("returned result inconsistent with median sample: %v vs %v", med, res.Cycles)
+	}
+}
