@@ -7,6 +7,9 @@
 //	citroen -list
 //	citroen -bench telecom_gsm -budget 100 -platform arm
 //	citroen -bench 525.x264_r -budget 150 -adaptive=false
+//	citroen -bench telecom_gsm -budget 50 -trace-out trace.jsonl -pass-profile
+//	citroen -bench telecom_gsm -budget 200 -metrics-addr localhost:9090
+//	citroen -trace-summary trace.jsonl
 package main
 
 import (
@@ -14,9 +17,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/passes"
 )
 
 func main() {
@@ -30,9 +36,22 @@ func main() {
 		lambda   = flag.Int("lambda", 9, "candidate compilations per iteration")
 		workers  = flag.Int("workers", 0, "candidate-compilation workers (0 = GOMAXPROCS, 1 = serial)")
 		feature  = flag.String("feature", "stats", "cost-model features: stats|autophase|tokenmix|rawseq")
-		verbose  = flag.Bool("v", false, "print the measurement trace")
+		verbose  = flag.Bool("v", false, "render the measurement trace live")
+
+		traceOut     = flag.String("trace-out", "", "write the structured event journal (JSONL) to this file")
+		traceSummary = flag.String("trace-summary", "", "replay a saved journal file, print its summary, and exit")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address, e.g. localhost:9090")
+		passProfile  = flag.Bool("pass-profile", false, "profile per-pass wall time and stats-counter deltas")
 	)
 	flag.Parse()
+
+	if *traceSummary != "" {
+		if err := summarizeJournal(*traceSummary); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("cBench-like suite:")
@@ -63,11 +82,44 @@ func main() {
 	}
 	fmt.Printf("-O3 baseline: %.0f cycles\n", ev.O3Time())
 
+	// Observability: journal sinks (file + live renderer share one event
+	// stream), metrics registry, optional per-pass profiling.
+	var sinks []obs.Sink
+	var journal *obs.JSONLSink
+	if *traceOut != "" {
+		journal, err = obs.CreateJSONLFile(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		sinks = append(sinks, journal)
+	}
+	if *verbose {
+		sinks = append(sinks, obs.NewTextRenderer(os.Stdout))
+	}
+	metrics := obs.NewMetrics()
+	var prof *passes.Profile
+	if *passProfile {
+		prof = passes.NewProfile()
+	}
+	ev.SetObs(metrics, prof)
+	if *metricsAddr != "" {
+		srv, bound, err := obs.Serve(*metricsAddr, metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("Serving http://%s/metrics (pprof under /debug/pprof/)\n", bound)
+	}
+
 	opts := core.DefaultOptions()
 	opts.Budget = *budget
 	opts.Adaptive = *adaptive
 	opts.Lambda = *lambda
 	opts.Workers = *workers
+	opts.Sink = obs.Multi(sinks...)
+	opts.Metrics = metrics
 	switch *feature {
 	case "autophase":
 		opts.Feature = core.FeatAutophase
@@ -78,18 +130,19 @@ func main() {
 	}
 
 	res, err := core.NewTuner(ev.Task(), opts, *seed).Run()
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", cerr)
+		} else {
+			fmt.Printf("Journal written to %s\n", *traceOut)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("\nHot modules: %v\n", res.HotModules)
-	if *verbose {
-		for _, tp := range res.Trace {
-			fmt.Printf("  meas %3d  module %-14s speedup %.3fx  best %.3fx\n",
-				tp.Measurement, tp.Module, tp.Speedup, tp.BestSpeedup)
-		}
-	}
 	fmt.Printf("\nBest speedup over -O3: %.3fx (time %.0f cycles)\n", res.BestSpeedup, res.BestTime)
 	fmt.Printf("Measurements: %d (saved by dedup: %d), compilations: %d\n",
 		res.Breakdown.Measures, res.SavedMeasurements, res.Breakdown.Compiles)
@@ -108,4 +161,70 @@ func main() {
 			fmt.Printf("  %-52s %.3f\n", imp.Name, imp.Relevance)
 		}
 	}
+	if len(res.PassProfile) > 0 {
+		fmt.Println("\nTop passes by compile wall time:")
+		fmt.Printf("  %-28s %12s %7s %7s %10s\n", "pass", "wall", "invoc", "fired", "delta")
+		for _, c := range passes.TopByWall(res.PassProfile, 10) {
+			fmt.Printf("  %-28s %12v %7d %7d %10d\n",
+				c.Name, c.Wall.Round(time.Microsecond), c.Invocations, c.Fired, c.DeltaTotal())
+		}
+	}
+	fmt.Println("\nMetrics summary:")
+	metrics.WriteSummary(os.Stdout)
+}
+
+// summarizeJournal replays a saved journal and prints, per run: the config,
+// the best-speedup-vs-measurement curve (incumbent improvements starred), the
+// Fig 5.12-style runtime breakdown and the per-pass profile.
+func summarizeJournal(path string) error {
+	events, err := obs.ReadJournalFile(path)
+	if err != nil {
+		return err
+	}
+	runs := obs.Summarize(events)
+	if len(runs) == 0 {
+		return fmt.Errorf("journal %s contains no events", path)
+	}
+	for i := range runs {
+		run := &runs[i]
+		if len(runs) > 1 {
+			fmt.Printf("=== run %d of %d ===\n", i+1, len(runs))
+		}
+		if run.Config != nil {
+			fmt.Printf("config: budget=%v lambda=%v feature=%v hot_modules=%v\n",
+				run.Config["budget"], run.Config["lambda"], run.Config["feature"], run.Config["hot_modules"])
+		}
+		fmt.Printf("events: %d, budget-consuming measurements: %d, best speedup: %.3fx\n",
+			run.Events, len(run.Curve), run.BestSpeedup())
+		if len(run.Curve) > 0 {
+			incumbent := map[int]bool{}
+			for _, p := range run.Incumbents {
+				incumbent[p.Measurement] = true
+			}
+			fmt.Println("speedup vs measurement (* = new incumbent):")
+			for _, p := range run.Curve {
+				mark := " "
+				if incumbent[p.Measurement] {
+					mark = "*"
+				}
+				fmt.Printf("  %4d%s %-14s speedup %.3fx  best %.3fx\n",
+					p.Measurement, mark, p.Module, p.Speedup, p.Best)
+			}
+		}
+		if shares := run.BreakdownShares(); shares != nil {
+			fmt.Printf("runtime breakdown: gp-fit %.1f%%, acquisition %.1f%%, compile %.1f%%, measure %.1f%%\n",
+				100*shares["gp-fit"], 100*shares["acquisition"],
+				100*shares["compile"], 100*shares["measure"])
+		}
+		if len(run.PassProfile) > 0 {
+			fmt.Println("per-pass profile:")
+			fmt.Printf("  %-28s %7s %7s %12s %10s\n", "pass", "invoc", "fired", "wall", "delta")
+			for _, r := range run.PassProfile {
+				fmt.Printf("  %-28s %7d %7d %12v %10d\n",
+					r.Pass, r.Invocations, r.Fired,
+					time.Duration(r.WallNS).Round(time.Microsecond), r.DeltaTotal)
+			}
+		}
+	}
+	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "candidate-compilation workers (0 = GOMAXPROCS, 1 = serial)")
 		scale    = flag.Float64("scale", 1, "problem-size scale for synthetic experiments")
 		paper    = flag.Bool("paper", false, "use paper-scale defaults (budget 100, 3 repeats)")
+
+		traceOut    = flag.String("trace-out", "", "append every tuning run's event journal (JSONL) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address while experiments run")
 	)
 	flag.Parse()
 
@@ -55,6 +59,29 @@ func main() {
 	cfg.Workers = *workers
 	if *benchCSV != "" {
 		cfg.Benchmarks = strings.Split(*benchCSV, ",")
+	}
+	if *traceOut != "" {
+		journal, err := obs.CreateJSONLFile(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := journal.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			}
+		}()
+		cfg.Sink = journal
+	}
+	if *metricsAddr != "" {
+		cfg.Metrics = obs.NewMetrics()
+		srv, bound, err := obs.Serve(*metricsAddr, cfg.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("Serving http://%s/metrics (pprof under /debug/pprof/)\n", bound)
 	}
 
 	ids := []string{*run}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/machine"
@@ -32,6 +33,7 @@ func main() {
 		print      = flag.Bool("print", false, "print the resulting IR")
 		run        = flag.Bool("run", false, "link the full program and execute it")
 		platform   = flag.String("platform", "arm", "arm or x86")
+		profile    = flag.Bool("pass-profile", false, "print per-pass wall time and stats-counter deltas for the target module")
 	)
 	flag.Parse()
 
@@ -63,6 +65,7 @@ func main() {
 		seq = strings.Split(*passCSV, ",")
 	}
 	found := false
+	var passProf *passes.Profile
 	for _, m := range mods {
 		if m.Name != target {
 			// Other modules get -O3 so the program still links and runs.
@@ -73,11 +76,16 @@ func main() {
 			continue
 		}
 		found = true
+		var o passes.Observer
+		if *profile {
+			passProf = passes.NewProfile()
+			o = passProf
+		}
 		var err error
 		if seq == nil {
-			err = passes.ApplyLevel(m, "O3", st)
+			err = passes.ApplyLevelObserved(m, "O3", st, o)
 		} else {
-			err = passes.Apply(m, seq, st, true)
+			err = passes.ApplyObserved(m, seq, st, true, o)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -93,6 +101,13 @@ func main() {
 	}
 	if *stats {
 		fmt.Println(st.JSON())
+	}
+	if passProf != nil {
+		fmt.Printf("; per-pass profile for %s (invocations / fired / wall / stats delta):\n", target)
+		for _, c := range passProf.Costs() {
+			fmt.Printf(";   %-28s %5d %5d %12v %8d\n",
+				c.Name, c.Invocations, c.Fired, c.Wall.Round(time.Microsecond), c.DeltaTotal())
+		}
 	}
 	if *run {
 		img, err := machine.Link(mods...)

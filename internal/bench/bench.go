@@ -10,10 +10,12 @@ import (
 	"hash/fnv"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/ir"
 	"repro/internal/irgen"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/passes"
 )
 
@@ -274,6 +276,15 @@ type Evaluator struct {
 	// pass-pipeline executions (cache hits do not re-run pipelines).
 	Compilations int
 	Measurements int
+
+	// Optional observability (SetObs); all nil until enabled. prof collects
+	// per-pass wall time and stats deltas, the counters mirror the ints above
+	// into the metrics registry.
+	prof    *passes.Profile
+	obsHits *obs.Counter
+	obsMiss *obs.Counter
+	obsComp *obs.Counter
+	obsMeas *obs.Counter
 }
 
 // seqKey identifies one compiled module build.
@@ -381,6 +392,31 @@ func (ev *Evaluator) CacheCounters() (hits, misses int) {
 	return ev.cacheHits, ev.cacheMiss
 }
 
+// SetObs attaches the evaluator to a metrics registry (cache, compilation and
+// measurement counters plus a histogram of simulated run cycles) and, when
+// prof is non-nil, enables per-pass profiling of every pipeline execution.
+// Call before tuning starts: CompileModule runs concurrently and the fields
+// set here are not guarded for mid-run replacement. A nil registry yields
+// live but unregistered instruments.
+func (ev *Evaluator) SetObs(m *obs.Metrics, prof *passes.Profile) {
+	ev.prof = prof
+	ev.obsHits = m.Counter("bench_cache_hits_total")
+	ev.obsMiss = m.Counter("bench_cache_misses_total")
+	ev.obsComp = m.Counter("bench_compilations_total")
+	ev.obsMeas = m.Counter("bench_measurements_total")
+	h := m.Histogram("machine_run_cycles", obs.CyclesBuckets)
+	ev.meas.OnSample = func(cycles float64, _ time.Duration) { h.Observe(cycles) }
+}
+
+// PassProfile returns the aggregated per-pass costs collected since SetObs
+// attached a profile (nil when profiling is disabled).
+func (ev *Evaluator) PassProfile() []passes.PassCost {
+	if ev.prof == nil {
+		return nil
+	}
+	return ev.prof.Costs()
+}
+
 // compiledFor returns the named module of the given dataset compiled under
 // seq (nil = O3), memoised on (dataset, module, seq). The returned module is
 // a private clone the caller may link and mutate; the returned stats are a
@@ -410,6 +446,9 @@ func (ev *Evaluator) compiledFor(ds int, name string, seq []string) (*ir.Module,
 			ev.cacheHits++
 			ce := e.Value.(*cacheEntry)
 			ev.mu.Unlock()
+			if ev.obsHits != nil {
+				ev.obsHits.Inc()
+			}
 			// The cached instance is immutable; hand out a clone (Link
 			// renumbers values in place) and a stats copy.
 			return ce.mod.Clone(), copyStats(ce.stats), nil
@@ -417,10 +456,17 @@ func (ev *Evaluator) compiledFor(ds int, name string, seq []string) (*ir.Module,
 		ev.cacheMiss++
 		ev.Compilations++
 		ev.mu.Unlock()
+		if ev.obsMiss != nil {
+			ev.obsMiss.Inc()
+			ev.obsComp.Inc()
+		}
 	} else {
 		ev.mu.Lock()
 		ev.Compilations++
 		ev.mu.Unlock()
+		if ev.obsComp != nil {
+			ev.obsComp.Inc()
+		}
 	}
 
 	// Compile outside the lock so concurrent candidate builds overlap. Two
@@ -428,11 +474,15 @@ func (ev *Evaluator) compiledFor(ds int, name string, seq []string) (*ir.Module,
 	// stays consistent because entries are immutable.
 	c := pristine.Clone()
 	st := passes.Stats{}
+	var o passes.Observer
+	if ev.prof != nil {
+		o = ev.prof
+	}
 	var err error
 	if seq == nil {
-		err = passes.ApplyLevel(c, "O3", st)
+		err = passes.ApplyLevelObserved(c, "O3", st, o)
 	} else {
-		err = passes.Apply(c, seq, st, false)
+		err = passes.ApplyObserved(c, seq, st, false, o)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -486,6 +536,9 @@ func (ev *Evaluator) timeWithSequences(seqs map[string][]string) (float64, passe
 			return 0, nil, err
 		}
 		ev.Measurements++
+		if ev.obsMeas != nil {
+			ev.obsMeas.Inc()
+		}
 		t, res, err := ev.meas.TimeMedian(img, "main", ev.Runs)
 		if err != nil {
 			return 0, nil, err

@@ -23,6 +23,7 @@ func (ev *Evaluator) Task() core.Task {
 			hot, _, err := ev.HotModules(coverage)
 			return hot, err
 		},
-		CacheFn: ev.CacheCounters,
+		CacheFn:       ev.CacheCounters,
+		PassProfileFn: ev.PassProfile,
 	}
 }

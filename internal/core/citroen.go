@@ -12,6 +12,7 @@ import (
 	"repro/internal/evalpool"
 	"repro/internal/gp"
 	"repro/internal/heuristic"
+	"repro/internal/obs"
 	"repro/internal/passes"
 )
 
@@ -63,6 +64,19 @@ type Options struct {
 	// so results are bit-identical for every worker count — only wall-clock
 	// changes. Tasks must support concurrent CompileModule when Workers != 1.
 	Workers int
+	// Sink receives the run's structured event journal (see internal/obs):
+	// run-start, iteration, candidate-generated, compile, gp-fit, acq-max,
+	// measure, cache-stats, new-incumbent and run-end events with monotonic
+	// sequence numbers and span parent IDs. All events are emitted from the
+	// tuner goroutine in submit order, so journals are identical for every
+	// Workers value modulo timing ("_ns") and environment ("env_") fields.
+	// nil disables journaling; the disabled path is allocation-free.
+	Sink obs.Sink
+	// Metrics is the registry fed by the tuner (measurement/compilation
+	// counters, phase-duration histograms, incumbent gauge) and by the
+	// evaluation pool (queue depth, worker utilisation). nil uses a
+	// tuner-private registry, which still feeds Result.Breakdown.
+	Metrics *obs.Metrics
 }
 
 // DefaultOptions mirror the paper's setup.
@@ -130,6 +144,11 @@ type Result struct {
 	Importance       []StatImportance
 	Breakdown        RuntimeBreakdown
 	HotModules       []string
+	// PassProfile attributes compile time and statistics-counter deltas to
+	// individual pass invocations, when the Task collects them (see
+	// PassProfileReporter); nil otherwise. Ordered deterministically by
+	// total counter delta (see passes.Profile.Costs).
+	PassProfile []passes.PassCost
 }
 
 // moduleState carries per-module tuning state.
@@ -166,6 +185,27 @@ type Tuner struct {
 
 	candsCompiled int
 	candsDup      int
+
+	// Observability. rec is nil when journaling is disabled (every emit is
+	// then a single nil check). The metric instruments are resolved once at
+	// construction; RuntimeBreakdown's counts are read back from them at
+	// finalize, making the registry the single source of truth.
+	rec      *obs.Recorder
+	runSpan  int64 // journal span of the whole run
+	curSpan  int64 // parent span for the current phase's events
+	mMeas    *obs.Counter
+	mComp    *obs.Counter
+	mSaved   *obs.Counter
+	mDup     *obs.Counter
+	// Counter values at construction: a registry shared across several runs
+	// (experiment repeats) keeps global totals, while Breakdown reports
+	// this run's deltas.
+	mMeas0, mComp0 int64
+	gBest    *obs.Gauge
+	hGPFit   *obs.Histogram
+	hAcq     *obs.Histogram
+	hCompile *obs.Histogram
+	hMeasure *obs.Histogram
 }
 
 // NewTuner prepares a tuner.
@@ -178,7 +218,11 @@ func NewTuner(task Task, opts Options, seed int64) *Tuner {
 	for i, v := range vocab {
 		vi[v] = i
 	}
-	return &Tuner{
+	met := opts.Metrics
+	if met == nil {
+		met = obs.NewMetrics()
+	}
+	t := &Tuner{
 		task: task, opts: opts, rng: rand.New(rand.NewSource(seed)),
 		pool:  evalpool.New(opts.Workers),
 		vocab: vocab, vIndex: vi,
@@ -187,7 +231,46 @@ func NewTuner(task Task, opts Options, seed int64) *Tuner {
 		seen:    map[string]bool{},
 		modIdx:  map[string]*moduleState{},
 		measCut: map[string]float64{},
+
+		rec:      obs.NewRecorder(opts.Sink),
+		mMeas:    met.Counter("citroen_measurements_total"),
+		mComp:    met.Counter("citroen_compilations_total"),
+		mSaved:   met.Counter("citroen_saved_measurements_total"),
+		mDup:     met.Counter("citroen_candidate_dups_total"),
+		gBest:    met.Gauge("citroen_incumbent_speedup"),
+		hGPFit:   met.Histogram("citroen_gp_fit_seconds", obs.DurationBuckets),
+		hAcq:     met.Histogram("citroen_acq_max_seconds", obs.DurationBuckets),
+		hCompile: met.Histogram("citroen_candidate_compile_seconds", obs.DurationBuckets),
+		hMeasure: met.Histogram("citroen_measure_seconds", obs.DurationBuckets),
 	}
+	t.mMeas0, t.mComp0 = t.mMeas.Value(), t.mComp.Value()
+	t.pool.Instrument(met)
+	return t
+}
+
+// hashSeq fingerprints a candidate sequence for journal events (inline
+// FNV-1a over the vocabulary indices — no hash.Hash allocation, so it is
+// safe on the disabled-journal path).
+func hashSeq(seq []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, g := range seq {
+		h ^= uint64(uint32(g))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// genLabel names a candidate generator for journal events.
+func genLabel(g heuristic.SeqOptimizer) string {
+	switch g.(type) {
+	case *heuristic.DES:
+		return "des"
+	case *heuristic.SeqGA:
+		return "ga"
+	case *heuristic.SeqRandom:
+		return "random"
+	}
+	return fmt.Sprintf("%T", g)
 }
 
 func (t *Tuner) seqStrings(seq []int) []string {
@@ -244,6 +327,24 @@ func (t *Tuner) Run() (*Result, error) {
 	}
 	t.res.HotModules = hot
 
+	// Journal the full run configuration. Worker count is an execution-
+	// environment field (env_ prefix): it cannot affect search behaviour,
+	// and canonical journal comparison strips it.
+	if t.rec.Enabled() {
+		t.runSpan = t.rec.RunStart(map[string]any{
+			"budget": t.opts.Budget, "lambda": t.opts.Lambda,
+			"seq_min": t.opts.SeqMin, "seq_max": t.opts.SeqMax,
+			"beta": t.opts.Beta, "feature": t.opts.Feature.String(),
+			"coverage_af": t.opts.CoverageAF, "coverage_gamma": t.opts.CoverageGamma,
+			"dup_penalty": t.opts.DupPenalty, "heuristic_init": t.opts.HeuristicInit,
+			"hot_coverage": t.opts.HotCoverage, "adaptive": t.opts.Adaptive,
+			"init_random": t.opts.InitRandom, "refit_every": t.opts.RefitEvery,
+			"vocab_size": len(t.vocab), "seed_sequences": len(t.opts.SeedSequences),
+			"hot_modules": hot, "env_workers": t.opts.Workers,
+		})
+	}
+	t.curSpan = t.runSpan
+
 	// Validate transfer seeds up front so a typo fails the run immediately
 	// rather than silently weakening the search.
 	seedIdx := make([][]int, 0, len(t.opts.SeedSequences))
@@ -261,8 +362,11 @@ func (t *Tuner) Run() (*Result, error) {
 	o3Indices := t.knownIndices(passes.O3Sequence())
 	baseFeats := make([]sparseVec, len(hot))
 	baseErrs := make([]error, len(hot))
+	baseDurs := make([]time.Duration, len(hot))
 	t.pool.Map(len(hot), func(i int) {
+		tc := time.Now()
 		m, st, err := t.task.CompileModule(hot[i], nil)
+		baseDurs[i] = time.Since(tc)
 		if err != nil {
 			baseErrs[i] = fmt.Errorf("core: baseline compile of %s: %w", hot[i], err)
 			return
@@ -273,6 +377,8 @@ func (t *Tuner) Run() (*Result, error) {
 		if baseErrs[i] != nil {
 			return nil, baseErrs[i]
 		}
+		// Journaled serially in hot order, after the fan-out barrier.
+		t.rec.Compile(t.runSpan, name, len(o3Indices), hashSeq(o3Indices), true, baseDurs[i])
 		ms := &moduleState{
 			name:     name,
 			bestY:    1.0,
@@ -302,8 +408,12 @@ func (t *Tuner) Run() (*Result, error) {
 		t.mods = append(t.mods, ms)
 	}
 
-	// Observation 0: the -O3 configuration itself.
+	// Observation 0: the -O3 configuration itself. It is the initial
+	// incumbent, so a run that never improves on -O3 still closes with a
+	// final new-incumbent event matching Result.BestSpeedup (1.0).
 	t.recordObservation(t.programFeatures(nil), 1.0)
+	t.gBest.Set(1.0)
+	t.rec.NewIncumbent(t.runSpan, "", 0, 1.0)
 
 	// Cross-program transfer: measure the seed sequences first (they embody
 	// program-independent pass correlations, §6.3.2).
@@ -335,6 +445,7 @@ func (t *Tuner) Run() (*Result, error) {
 	// Model-guided loop.
 	maxIters := t.opts.Budget * 6
 	for iter := 0; used < t.opts.Budget && iter < maxIters; iter++ {
+		t.curSpan = t.rec.Iteration(t.runSpan, iter, used)
 		if err := t.fitModel(iter); err != nil {
 			return nil, err
 		}
@@ -389,9 +500,10 @@ func (t *Tuner) programFeatures(override map[string]sparseVec) map[string]sparse
 
 // denseProgram materialises concatenated program features.
 func (t *Tuner) denseProgram(fv map[string]sparseVec) []float64 {
-	// Register all dims first so every vector has the final width.
+	// Register all dims first so every vector has the final width, in sorted
+	// key order so the layout is deterministic (see sortedKeys).
 	for _, ms := range t.mods {
-		for k := range fv[ms.name] {
+		for _, k := range fv[ms.name].sortedKeys() {
 			t.fi.slotFor(ms.name + "|" + k)
 		}
 	}
@@ -452,7 +564,10 @@ func (t *Tuner) fitModel(iter int) error {
 		return fmt.Errorf("core: GP fit: %w", err)
 	}
 	t.model = m
-	t.res.Breakdown.GPFit += time.Since(tStart)
+	wall := time.Since(tStart)
+	t.res.Breakdown.GPFit += wall
+	t.hGPFit.Observe(wall.Seconds())
+	t.rec.GPFit(t.curSpan, len(t.Y), t.fi.Dim(), wall)
 	return nil
 }
 
@@ -482,7 +597,11 @@ type candJob struct {
 // independent of Options.Workers.
 func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 	tAcq := time.Now()
-	defer func() { t.res.Breakdown.AcqMax += time.Since(tAcq) }()
+	defer func() {
+		wall := time.Since(tAcq)
+		t.res.Breakdown.AcqMax += wall
+		t.hAcq.Observe(wall.Seconds())
+	}()
 
 	targets := t.mods
 	if !t.opts.Adaptive {
@@ -501,6 +620,9 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 		}
 		for _, gen := range ms.gens {
 			for _, seq := range gen.Ask(per) {
+				if t.rec.Enabled() {
+					t.rec.CandidateGenerated(t.curSpan, ms.name, genLabel(gen), len(seq), hashSeq(seq))
+				}
 				jobs = append(jobs, candJob{ms: ms, seq: seq})
 			}
 		}
@@ -536,8 +658,12 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 	for i := range jobs {
 		j := &jobs[i]
 		t.candsCompiled++
-		t.res.Breakdown.Compiles++
+		t.mComp.Inc()
 		t.res.Breakdown.Compile += j.compile
+		t.hCompile.Observe(j.compile.Seconds())
+		if t.rec.Enabled() {
+			t.rec.Compile(t.curSpan, j.ms.name, len(j.seq), hashSeq(j.seq), j.ok, j.compile)
+		}
 		if !j.ok {
 			continue
 		}
@@ -546,6 +672,7 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 		if _, seenBefore := t.measCut[t.programKey(prog)]; seenBefore {
 			dup = true
 			t.candsDup++
+			t.mDup.Inc()
 		}
 		var af float64
 		if t.model == nil {
@@ -566,9 +693,11 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 	if best.ms == nil {
 		return candidate{}, nil, false
 	}
-	if best.fv.novelDims(t.seen, best.ms.name+"|") > 0 {
+	novel := best.fv.novelDims(t.seen, best.ms.name+"|")
+	if novel > 0 {
 		t.res.NovelSelections++
 	}
+	t.rec.AcqMax(t.curSpan, len(jobs), best.ms.name, best.af, best.dup, novel, time.Since(tAcq))
 	return best, bestFV, true
 }
 
@@ -599,13 +728,22 @@ func (t *Tuner) bestObservedY() float64 {
 // compileCandidate compiles seq for ms's module and extracts features.
 func (t *Tuner) compileCandidate(ms *moduleState, seq []int) (sparseVec, bool) {
 	tc := time.Now()
-	defer func() { t.res.Breakdown.Compile += time.Since(tc) }()
+	ok := false
+	defer func() {
+		wall := time.Since(tc)
+		t.res.Breakdown.Compile += wall
+		t.hCompile.Observe(wall.Seconds())
+		if t.rec.Enabled() {
+			t.rec.Compile(t.curSpan, ms.name, len(seq), hashSeq(seq), ok, wall)
+		}
+	}()
 	t.candsCompiled++
-	t.res.Breakdown.Compiles++
+	t.mComp.Inc()
 	m, st, err := t.task.CompileModule(ms.name, t.seqStrings(seq))
 	if err != nil {
 		return nil, false
 	}
+	ok = true
 	return extract(t.opts.Feature, m, st, t.seqStrings(seq)), true
 }
 
@@ -627,25 +765,33 @@ func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]
 		// as) identical; reuse the measurement (§5.2: avoid profiling
 		// sequences that cannot change the outcome).
 		t.res.SavedMeasurements++
+		t.mSaved.Inc()
+		t.rec.Measure(t.curSpan, ms.name, 0, y*t.base, 1/y, 1/t.bestObservedY(), true, true, 0)
 		t.tellGenerators(ms, seq, y)
 		return false
 	}
+	prevBest := t.bestObservedY()
 	seqs := t.currentSequences()
 	seqs[ms.name] = t.seqStrings(seq)
 	tm := time.Now()
 	timeC, err := t.task.Measure(seqs)
-	t.res.Breakdown.Measure += time.Since(tm)
+	wall := time.Since(tm)
+	t.res.Breakdown.Measure += wall
+	t.hMeasure.Observe(wall.Seconds())
 	if err != nil {
 		// Differential-test failure or build error: discard, penalise.
+		t.rec.Measure(t.curSpan, ms.name, 0, 0, 0, 1/prevBest, false, false, wall)
 		t.tellGenerators(ms, seq, 10)
 		return false
 	}
-	t.res.Breakdown.Measures++
+	t.mMeas.Inc()
 	y := timeC / t.base
 	t.recordObservation(fv, y)
 	t.tellGenerators(ms, seq, y)
 	t.res.ModuleBudget[ms.name]++
-	sp := t.base / timeC
+	// 1/y, not base/timeC: finalize computes BestSpeedup as 1/bestY, and the
+	// journal's final new-incumbent must match it bit-for-bit.
+	sp := 1 / y
 	if y < ms.bestY {
 		ms.bestY = y
 		ms.bestSeq = append([]int(nil), seq...)
@@ -659,6 +805,18 @@ func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]
 		Speedup:     sp,
 		BestSpeedup: bestSoFar,
 	})
+	meas := len(t.res.Trace)
+	t.gBest.Set(bestSoFar)
+	t.rec.Measure(t.curSpan, ms.name, meas, timeC, sp, bestSoFar, true, false, wall)
+	if y < prevBest {
+		t.rec.NewIncumbent(t.curSpan, ms.name, meas, sp)
+	}
+	if t.rec.Enabled() {
+		if cs, ok := t.task.(CacheStatsReporter); ok {
+			hits, misses := cs.CacheCounters()
+			t.rec.CacheStats(t.curSpan, hits, misses)
+		}
+	}
 	return true
 }
 
@@ -679,7 +837,9 @@ func (t *Tuner) currentSequences() map[string][]string {
 	return out
 }
 
-// finalize fills the result summary.
+// finalize fills the result summary. The breakdown's counts come back out
+// of the metrics registry (this run's deltas), making the registry, the
+// journal and Result three views of the same accounting.
 func (t *Tuner) finalize(start time.Time) {
 	t.res.BestSeqs = t.currentSequences()
 	bestY := t.bestObservedY()
@@ -688,10 +848,45 @@ func (t *Tuner) finalize(start time.Time) {
 	if t.candsCompiled > 0 {
 		t.res.CandidateDupRate = float64(t.candsDup) / float64(t.candsCompiled)
 	}
+	t.res.Breakdown.Measures = int(t.mMeas.Value() - t.mMeas0)
+	t.res.Breakdown.Compiles = int(t.mComp.Value() - t.mComp0)
 	if cs, ok := t.task.(CacheStatsReporter); ok {
 		t.res.Breakdown.CacheHits, t.res.Breakdown.CacheMisses = cs.CacheCounters()
 	}
+	if pp, ok := t.task.(PassProfileReporter); ok {
+		t.res.PassProfile = pp.PassProfile()
+	}
 	t.res.Breakdown.Total = time.Since(start)
+	if t.rec.Enabled() {
+		bd := t.res.Breakdown
+		summary := map[string]any{
+			"best_speedup": t.res.BestSpeedup, "best_time_cycles": t.res.BestTime,
+			"measurements": bd.Measures, "compilations": bd.Compiles,
+			"saved_measurements": t.res.SavedMeasurements,
+			"novel_selections":   t.res.NovelSelections,
+			"candidate_dup_rate": t.res.CandidateDupRate,
+			"cache_hits":         bd.CacheHits, "cache_misses": bd.CacheMisses,
+			"breakdown": map[string]any{
+				"gp_fit_ns": bd.GPFit.Nanoseconds(), "acq_max_ns": bd.AcqMax.Nanoseconds(),
+				"compile_ns": bd.Compile.Nanoseconds(), "measure_ns": bd.Measure.Nanoseconds(),
+				"total_ns": bd.Total.Nanoseconds(),
+			},
+		}
+		if len(t.res.PassProfile) > 0 {
+			rows := make([]any, 0, 20)
+			for i, c := range t.res.PassProfile {
+				if i == 20 {
+					break
+				}
+				rows = append(rows, map[string]any{
+					"pass": c.Name, "invocations": c.Invocations, "fired": c.Fired,
+					"wall_ns": c.Wall.Nanoseconds(), "delta_total": c.DeltaTotal(),
+				})
+			}
+			summary["pass_profile"] = rows
+		}
+		t.rec.RunEnd(t.runSpan, summary)
+	}
 	// ARD relevance ranking (Table 5.5).
 	if t.model != nil {
 		names := t.fi.Names()

@@ -214,10 +214,22 @@ func appendFloat(b []byte, f float64) []byte {
 	return append(b, tmp[i:]...)
 }
 
+// sortedKeys returns v's keys in sorted order. Slot registration must use it:
+// map iteration order would make the dense layout (and every float reduction
+// the GP runs over it) vary run to run, which breaks bit-identical journals.
+func (v sparseVec) sortedKeys() []string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // dense materialises the vector under the index, registering new dimensions.
 // prefix namespaces per-module features when concatenating (§5.3.1).
 func (v sparseVec) dense(fi *FeatureIndex, prefix string) []float64 {
-	for k := range v {
+	for _, k := range v.sortedKeys() {
 		fi.slotFor(prefix + k)
 	}
 	out := make([]float64, fi.Dim())

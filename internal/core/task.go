@@ -40,10 +40,21 @@ type Task interface {
 
 // CacheStatsReporter is optionally implemented by Tasks whose evaluator
 // memoises compiled modules. The tuner copies the counters into
-// Result.Breakdown at the end of a run.
+// Result.Breakdown at the end of a run and journals them after every
+// measurement when a journal sink is attached.
 type CacheStatsReporter interface {
 	// CacheCounters returns cumulative compiled-module cache hits and misses.
 	CacheCounters() (hits, misses int)
+}
+
+// PassProfileReporter is optionally implemented by Tasks whose evaluator
+// profiles individual pass invocations (wall time + statistics-counter
+// deltas; see passes.Profile). The tuner copies the aggregated costs into
+// Result.PassProfile and the journal's run-end event.
+type PassProfileReporter interface {
+	// PassProfile returns the aggregated per-pass costs in the deterministic
+	// order of passes.Profile.Costs (nil when profiling is disabled).
+	PassProfile() []passes.PassCost
 }
 
 // BenchTask adapts bench.Evaluator-like objects to Task. It is defined via
@@ -58,6 +69,9 @@ type BenchTask struct {
 	// CacheFn, when set, reports the evaluator's compiled-module cache
 	// counters (see CacheStatsReporter).
 	CacheFn func() (hits, misses int)
+	// PassProfileFn, when set, reports the evaluator's per-pass profile
+	// (see PassProfileReporter).
+	PassProfileFn func() []passes.PassCost
 }
 
 // Modules implements Task.
@@ -84,4 +98,13 @@ func (t *BenchTask) CacheCounters() (hits, misses int) {
 		return 0, 0
 	}
 	return t.CacheFn()
+}
+
+// PassProfile implements PassProfileReporter; without a PassProfileFn it
+// reports no profile.
+func (t *BenchTask) PassProfile() []passes.PassCost {
+	if t.PassProfileFn == nil {
+		return nil
+	}
+	return t.PassProfileFn()
 }

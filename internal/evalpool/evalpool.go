@@ -12,12 +12,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Pool is a reusable fan-out executor with a fixed worker count. The zero
 // value is not usable; construct with New.
 type Pool struct {
 	workers int
+
+	// Optional instrumentation (see Instrument); nil when uninstrumented.
+	batches *obs.Counter
+	jobs    *obs.Counter
+	active  *obs.Gauge // workers currently inside fn
+	queued  *obs.Gauge // submitted jobs not yet claimed
 }
 
 // New returns a pool with the given worker count. workers <= 0 selects
@@ -34,6 +42,18 @@ func New(workers int) *Pool {
 // Workers reports the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// Instrument registers queue-depth and worker-utilisation metrics on m:
+// evalpool_batches_total and evalpool_jobs_total counters, and
+// evalpool_active_workers / evalpool_queue_depth gauges. Call before the
+// first Map; a nil registry yields live but unregistered instruments, so
+// instrumentation is always safe to enable.
+func (p *Pool) Instrument(m *obs.Metrics) {
+	p.batches = m.Counter("evalpool_batches_total")
+	p.jobs = m.Counter("evalpool_jobs_total")
+	p.active = m.Gauge("evalpool_active_workers")
+	p.queued = m.Gauge("evalpool_queue_depth")
+}
+
 // Map runs fn(i) for every i in [0, n) and returns when all calls have
 // completed. fn must write its result into a caller-owned slot for index i
 // (e.g. results[i] = ...): that convention is what makes the fan-out
@@ -47,13 +67,26 @@ func (p *Pool) Map(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	if p.batches != nil {
+		p.batches.Inc()
+		p.jobs.Add(int64(n))
+		p.queued.Set(float64(n))
+		defer p.queued.Set(0)
+	}
 	w := p.workers
 	if w > n {
 		w = n
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if p.queued != nil {
+				p.queued.Set(float64(n - i - 1))
+				p.active.Set(1)
+			}
 			fn(i)
+			if p.active != nil {
+				p.active.Set(0)
+			}
 		}
 		return
 	}
@@ -73,8 +106,17 @@ func (p *Pool) Map(n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
+				if p.queued != nil {
+					if left := n - 1 - i; left >= 0 {
+						p.queued.Set(float64(left))
+					}
+					p.active.Add(1)
+				}
 				func() {
 					defer func() {
+						if p.active != nil {
+							p.active.Add(-1)
+						}
 						if r := recover(); r != nil {
 							panMu.Lock()
 							if pan == nil {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tuners"
 )
 
@@ -30,6 +31,13 @@ type Config struct {
 	// core.Options.Workers): 0 = GOMAXPROCS, 1 = serial. Results are
 	// identical for every value; only wall-clock changes.
 	Workers int
+	// Sink receives every tuning run's structured event journal (nil
+	// disables journaling; see internal/obs). Multi-run experiments append
+	// all runs to the same journal — obs.Summarize splits them back apart.
+	Sink obs.Sink
+	// Metrics aggregates counters/histograms across every tuning run the
+	// experiment performs (nil = each tuner keeps a private registry).
+	Metrics *obs.Metrics
 	Out     io.Writer
 }
 
@@ -60,6 +68,8 @@ func (c Config) tunerOptions() core.Options {
 	o := core.DefaultOptions()
 	o.Budget = c.Budget
 	o.Workers = c.Workers
+	o.Sink = c.Sink
+	o.Metrics = c.Metrics
 	return o
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 )
 
 // Measurement wraps execution with the noise model of a real timing run:
@@ -13,6 +14,12 @@ type Measurement struct {
 	Machine  *Machine
 	NoiseStd float64 // relative std-dev of one timing run (paper-style ~0.5-1%)
 	Rng      *rand.Rand
+	// OnSample, when set, observes every timing run: the noisy modelled
+	// cycle count and the wall-clock the simulation itself took. The hook is
+	// how the observability layer attributes measurement time without the
+	// machine depending on it; when nil no clock is read, keeping the
+	// disabled path overhead-free.
+	OnSample func(cycles float64, wall time.Duration)
 }
 
 // NewMeasurement returns a measurement harness with the given noise level.
@@ -23,6 +30,10 @@ func NewMeasurement(m *Machine, noiseStd float64, seed int64) *Measurement {
 // TimeOnce runs entry once and returns one noisy time sample plus the clean
 // result (for output comparison).
 func (ms *Measurement) TimeOnce(img *Image, entry string, args ...Val) (float64, *Result, error) {
+	var t0 time.Time
+	if ms.OnSample != nil {
+		t0 = time.Now()
+	}
 	res, err := ms.Machine.Run(img, entry, args...)
 	if err != nil {
 		return 0, nil, err
@@ -31,7 +42,11 @@ func (ms *Measurement) TimeOnce(img *Image, entry string, args ...Val) (float64,
 	if noise < 0.5 {
 		noise = 0.5
 	}
-	return res.Cycles * noise, res, nil
+	t := res.Cycles * noise
+	if ms.OnSample != nil {
+		ms.OnSample(t, time.Since(t0))
+	}
+	return t, res, nil
 }
 
 // TimeMedian runs entry `runs` times and returns the median of the noisy

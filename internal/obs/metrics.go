@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. All methods are lock-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float64. All methods are lock-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d (CAS loop).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a streaming histogram with fixed bucket upper bounds
+// (Prometheus "le" semantics: a sample v lands in the first bucket with
+// v <= upper; samples above the last bound land in the implicit +Inf
+// bucket). Observe is lock-free and uses no time or randomness, so enabling
+// metrics cannot perturb a deterministic trace.
+type Histogram struct {
+	upper   []float64
+	counts  []int64 // len(upper)+1; last is +Inf; accessed atomically
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v)
+	atomic.AddInt64(&h.counts[i], 1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	Upper      float64 // math.Inf(1) for the last bucket
+	Cumulative int64
+}
+
+// Snapshot returns cumulative bucket counts.
+func (h *Histogram) Snapshot() []Bucket {
+	out := make([]Bucket, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += atomic.LoadInt64(&h.counts[i])
+		up := math.Inf(1)
+		if i < len(h.upper) {
+			up = h.upper[i]
+		}
+		out[i] = Bucket{Upper: up, Cumulative: cum}
+	}
+	return out
+}
+
+// DurationBuckets are the default bounds (seconds) for wall-time histograms,
+// spanning microsecond pass runs to multi-second measurements.
+var DurationBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// CyclesBuckets are decade bounds for modelled-cycle histograms.
+var CyclesBuckets = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+
+// Metrics is a named registry of counters, gauges and histograms. Lookup
+// (get-or-create) takes a mutex; the returned instruments are lock-free, so
+// hot paths should resolve them once and hold the pointers. A nil *Metrics
+// is usable: lookups return live but unregistered (discarded) instruments,
+// letting instrumented components skip nil checks.
+//
+// Metric names follow Prometheus conventions and may carry a label suffix,
+// e.g. `passes_invocations_total{pass="gvn"}`; series sharing a family (the
+// name up to '{') render under one TYPE header.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return &Counter{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return &Gauge{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. upper must be
+// sorted ascending; it is ignored when the histogram already exists.
+func (m *Metrics) Histogram(name string, upper []float64) *Histogram {
+	if m == nil {
+		return newHistogram(upper)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = newHistogram(upper)
+		m.hists[name] = h
+	}
+	return h
+}
+
+func newHistogram(upper []float64) *Histogram {
+	for i := 1; i < len(upper); i++ {
+		if upper[i] <= upper[i-1] {
+			panic("obs: histogram bucket bounds must be sorted ascending")
+		}
+	}
+	u := append([]float64(nil), upper...)
+	return &Histogram{upper: u, counts: make([]int64, len(u)+1)}
+}
+
+// family splits a series name into its family and label body:
+// `a_total{pass="x"}` -> ("a_total", `pass="x"`).
+func family(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+func withLabel(fam, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return fam
+	case labels == "":
+		return fam + "{" + extra + "}"
+	case extra == "":
+		return fam + "{" + labels + "}"
+	}
+	return fam + "{" + labels + "," + extra + "}"
+}
+
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, families sorted by name, series sorted within each family.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	type series struct {
+		name string
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	fams := map[string]string{} // family -> type
+	byFam := map[string][]series{}
+	add := func(name, typ string, s series) {
+		f, _ := family(name)
+		if _, ok := fams[f]; !ok {
+			fams[f] = typ
+		}
+		byFam[f] = append(byFam[f], s)
+	}
+	for n, c := range m.counters {
+		add(n, "counter", series{name: n, c: c})
+	}
+	for n, g := range m.gauges {
+		add(n, "gauge", series{name: n, g: g})
+	}
+	for n, h := range m.hists {
+		add(n, "histogram", series{name: n, h: h})
+	}
+	m.mu.Unlock()
+
+	names := make([]string, 0, len(fams))
+	for f := range fams {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, f := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f, fams[f]); err != nil {
+			return err
+		}
+		ss := byFam[f]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].name < ss[j].name })
+		for _, s := range ss {
+			fam, labels := family(s.name)
+			var err error
+			switch {
+			case s.c != nil:
+				_, err = fmt.Fprintf(w, "%s %d\n", s.name, s.c.Value())
+			case s.g != nil:
+				_, err = fmt.Fprintf(w, "%s %g\n", s.name, s.g.Value())
+			case s.h != nil:
+				for _, b := range s.h.Snapshot() {
+					le := `le="` + formatLe(b.Upper) + `"`
+					if _, err = fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_bucket", labels, le), b.Cumulative); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s %g\n", withLabel(fam+"_sum", labels, ""), s.h.Sum()); err != nil {
+					return err
+				}
+				_, err = fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_count", labels, ""), s.h.Count())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSummary renders a human-readable final table: every counter and
+// gauge, and count/sum/mean for every histogram, sorted by name.
+func (m *Metrics) WriteSummary(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	type row struct{ name, val string }
+	var rows []row
+	for n, c := range m.counters {
+		rows = append(rows, row{n, fmt.Sprintf("%d", c.Value())})
+	}
+	for n, g := range m.gauges {
+		rows = append(rows, row{n, fmt.Sprintf("%g", g.Value())})
+	}
+	for n, h := range m.hists {
+		mean := 0.0
+		if c := h.Count(); c > 0 {
+			mean = h.Sum() / float64(c)
+		}
+		rows = append(rows, row{n, fmt.Sprintf("count=%d sum=%.6g mean=%.6g", h.Count(), h.Sum(), mean)})
+	}
+	m.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "  %-52s %s\n", r.name, r.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+// Package obs is the zero-dependency observability layer for the tuning
+// loop: a structured event journal (typed JSONL events with monotonic
+// sequence numbers and span-style parent IDs), a metrics registry (counters,
+// gauges, streaming fixed-bucket histograms renderable in Prometheus text
+// format), and the replay/summary helpers that make saved journals useful
+// offline.
+//
+// Design constraints, in order:
+//
+//   - The disabled path must be free: every Recorder method no-ops on a nil
+//     receiver before touching any argument, so a tuner built without a sink
+//     pays one nil check per event site and allocates nothing.
+//   - Journals must be deterministic modulo timing: all journal emission
+//     happens on the tuner goroutine in submit order, sequence numbers are
+//     plain increments, and every wall-clock-derived field is named with an
+//     "_ns" suffix (execution-environment fields use an "env_" prefix) so
+//     Canonicalize can strip exactly the nondeterministic parts. Two runs
+//     that search identically produce canonically identical journals
+//     regardless of worker count.
+//   - The metrics hot path uses only atomics — no time, no rand, no maps —
+//     so enabling the registry cannot perturb a deterministic trace.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one journal record. Events that open a span (run-start,
+// iteration) carry a Span ID; their children reference it via Parent.
+// TimeNS is monotonic nanoseconds since the recorder was created and, like
+// every field key ending in "_ns", is a timing field excluded from
+// journal-equality comparisons.
+type Event struct {
+	Seq    int64          `json:"seq"`
+	TimeNS int64          `json:"t_ns"`
+	Type   string         `json:"type"`
+	Span   int64          `json:"span,omitempty"`
+	Parent int64          `json:"parent,omitempty"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Sink consumes journal events. Emit must not retain e past the call.
+type Sink interface {
+	Emit(e *Event)
+}
+
+// Multi fans events out to several sinks. Nil sinks are dropped; with no
+// live sinks it returns nil (the disabled journal).
+func Multi(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiSink(live)
+}
+
+type multiSink []Sink
+
+func (m multiSink) Emit(e *Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// JSONLSink writes one JSON object per line. Safe for concurrent use; the
+// first write error is sticky and reported by Close.
+type JSONLSink struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	err    error
+}
+
+// NewJSONLSink wraps w. The caller owns w; Close only flushes.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// CreateJSONLFile creates (truncates) path and returns a sink that owns the
+// file: Close flushes and closes it.
+func CreateJSONLFile(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewJSONLSink(f)
+	s.closer = f
+	return s, nil
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e *Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.w.WriteByte('\n')
+}
+
+// Close flushes (and closes the file for CreateJSONLFile sinks), returning
+// the first error seen over the sink's lifetime.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	if s.closer != nil {
+		if err := s.closer.Close(); s.err == nil {
+			s.err = err
+		}
+		s.closer = nil
+	}
+	return s.err
+}
+
+// MemorySink collects events in memory (tests, trace diffing).
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(e *Event) {
+	s.mu.Lock()
+	s.events = append(s.events, *e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the collected events.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Recorder assigns sequence numbers, timestamps and span IDs and forwards
+// typed events to a Sink. A nil *Recorder is the disabled journal: every
+// method returns immediately, allocation-free, so call sites need no guard.
+//
+// All methods are safe for concurrent use, but journal determinism (stable
+// sequence numbers across worker counts) additionally requires that callers
+// emit from a single goroutine, which the tuner does: compile results are
+// journaled in submit order after each parallel fan-out completes.
+type Recorder struct {
+	mu    sync.Mutex
+	sink  Sink
+	seq   int64
+	spans int64
+	start time.Time
+}
+
+// NewRecorder returns a recorder over sink, or nil (disabled) for a nil sink.
+func NewRecorder(sink Sink) *Recorder {
+	if sink == nil {
+		return nil
+	}
+	return &Recorder{sink: sink, start: time.Now()}
+}
+
+// Enabled reports whether events are being recorded. Callers building
+// expensive payloads (maps for RunStart/RunEnd) should guard on it.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// emit assigns seq/time and forwards. span == 0 means "allocate a fresh
+// span ID for this event"; pass -1 for span-less child events.
+func (r *Recorder) emit(typ string, span, parent int64, fields map[string]any) int64 {
+	r.mu.Lock()
+	r.seq++
+	if span == 0 {
+		r.spans++
+		span = r.spans
+	} else if span < 0 {
+		span = 0
+	}
+	e := Event{
+		Seq:    r.seq,
+		TimeNS: time.Since(r.start).Nanoseconds(),
+		Type:   typ,
+		Span:   span,
+		Parent: parent,
+		Fields: fields,
+	}
+	r.sink.Emit(&e)
+	r.mu.Unlock()
+	return span
+}
+
+// RunStart opens the root span with the run's full configuration. Guard the
+// config-map construction with Enabled().
+func (r *Recorder) RunStart(config map[string]any) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.emit("run-start", 0, 0, config)
+}
+
+// Iteration opens one model-guided-loop iteration span under the run span.
+func (r *Recorder) Iteration(runSpan int64, iter, budgetUsed int) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.emit("iteration", 0, runSpan, map[string]any{
+		"iter": iter, "budget_used": budgetUsed,
+	})
+}
+
+// CandidateGenerated records one candidate sequence asked from a generator.
+func (r *Recorder) CandidateGenerated(parent int64, module, generator string, seqLen int, seqHash uint64) {
+	if r == nil {
+		return
+	}
+	r.emit("candidate-generated", -1, parent, map[string]any{
+		"module": module, "generator": generator,
+		"seq_len": seqLen, "seq_hash": seqHash,
+	})
+}
+
+// Compile records one candidate compilation (stats extraction, no
+// execution). wall is a timing field.
+func (r *Recorder) Compile(parent int64, module string, seqLen int, seqHash uint64, ok bool, wall time.Duration) {
+	if r == nil {
+		return
+	}
+	r.emit("compile", -1, parent, map[string]any{
+		"module": module, "seq_len": seqLen, "seq_hash": seqHash,
+		"ok": ok, "wall_ns": wall.Nanoseconds(),
+	})
+}
+
+// GPFit records one cost-model (re)fit.
+func (r *Recorder) GPFit(parent int64, points, dim int, wall time.Duration) {
+	if r == nil {
+		return
+	}
+	r.emit("gp-fit", -1, parent, map[string]any{
+		"points": points, "dim": dim, "wall_ns": wall.Nanoseconds(),
+	})
+}
+
+// AcqMax records the acquisition argmax over one iteration's candidates.
+func (r *Recorder) AcqMax(parent int64, candidates int, module string, af float64, dup bool, novelDims int, wall time.Duration) {
+	if r == nil {
+		return
+	}
+	r.emit("acq-max", -1, parent, map[string]any{
+		"candidates": candidates, "module": module, "af": af,
+		"dup": dup, "novel_dims": novelDims, "wall_ns": wall.Nanoseconds(),
+	})
+}
+
+// Measure records one runtime measurement. reused marks duplicate-statistics
+// candidates whose profiled value was reused without consuming budget;
+// measurement is the 1-based index in the trace (0 when no budget was
+// consumed). timeCycles/speedup/best come from the deterministic simulated
+// machine and are NOT timing fields; wall is.
+func (r *Recorder) Measure(parent int64, module string, measurement int, timeCycles, speedup, best float64, ok, reused bool, wall time.Duration) {
+	if r == nil {
+		return
+	}
+	r.emit("measure", -1, parent, map[string]any{
+		"module": module, "measurement": measurement,
+		"time_cycles": timeCycles, "speedup": speedup, "best": best,
+		"ok": ok, "reused": reused, "wall_ns": wall.Nanoseconds(),
+	})
+}
+
+// CacheStats records cumulative compiled-module cache counters at a
+// serial synchronisation point (after a measurement).
+func (r *Recorder) CacheStats(parent int64, hits, misses int) {
+	if r == nil {
+		return
+	}
+	r.emit("cache-stats", -1, parent, map[string]any{
+		"hits": hits, "misses": misses,
+	})
+}
+
+// NewIncumbent records a program-level best-speedup improvement. The final
+// new-incumbent event of a run matches Result.BestSpeedup.
+func (r *Recorder) NewIncumbent(parent int64, module string, measurement int, speedup float64) {
+	if r == nil {
+		return
+	}
+	r.emit("new-incumbent", -1, parent, map[string]any{
+		"module": module, "measurement": measurement, "speedup": speedup,
+	})
+}
+
+// RunEnd closes the run with its result summary. Guard the summary-map
+// construction with Enabled().
+func (r *Recorder) RunEnd(runSpan int64, summary map[string]any) {
+	if r == nil {
+		return
+	}
+	r.emit("run-end", -1, runSpan, summary)
+}
+
+// Canonicalize returns a copy of events with every nondeterministic field
+// removed: sink-assigned timestamps, any field key with the "_ns" suffix
+// (wall-clock durations, recursively) and any key with the "env_" prefix
+// (execution environment, e.g. worker counts). Two runs with identical
+// search behaviour — e.g. -workers=1 vs -workers=8 — canonicalize to deeply
+// equal journals.
+func Canonicalize(events []Event) []Event {
+	out := make([]Event, len(events))
+	for i, e := range events {
+		e.TimeNS = 0
+		e.Fields = scrubMap(e.Fields)
+		out[i] = e
+	}
+	return out
+}
+
+func scrubMap(f map[string]any) map[string]any {
+	if f == nil {
+		return nil
+	}
+	out := make(map[string]any, len(f))
+	for k, v := range f {
+		if strings.HasSuffix(k, "_ns") || strings.HasPrefix(k, "env_") {
+			continue
+		}
+		out[k] = scrubValue(v)
+	}
+	return out
+}
+
+func scrubValue(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		return scrubMap(t)
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = scrubValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// A nil Recorder must be completely free: no allocations on any method, so a
+// tuner built without a sink pays only the nil check.
+func TestNilRecorderAllocationFree(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.RunStart(nil)
+		r.Iteration(1, 2, 3)
+		r.CandidateGenerated(1, "m", "ga", 10, 42)
+		r.Compile(1, "m", 10, 42, true, time.Second)
+		r.GPFit(1, 5, 7, time.Second)
+		r.AcqMax(1, 9, "m", 0.5, false, 2, time.Second)
+		r.Measure(1, "m", 3, 100, 1.1, 1.2, true, false, time.Second)
+		r.CacheStats(1, 3, 4)
+		r.NewIncumbent(1, "m", 3, 1.2)
+		r.RunEnd(1, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %v times per run", allocs)
+	}
+}
+
+func TestRecorderSequencingAndSpans(t *testing.T) {
+	mem := &MemorySink{}
+	r := NewRecorder(mem)
+	run := r.RunStart(map[string]any{"budget": 5})
+	iter := r.Iteration(run, 0, 0)
+	r.Compile(iter, "m", 3, 99, true, time.Millisecond)
+	r.RunEnd(run, map[string]any{"best_speedup": 1.5})
+
+	ev := mem.Events()
+	if len(ev) != 4 {
+		t.Fatalf("got %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if run == 0 || iter == 0 || run == iter {
+		t.Fatalf("span ids not distinct: run=%d iter=%d", run, iter)
+	}
+	if ev[1].Parent != run {
+		t.Fatalf("iteration parent = %d, want %d", ev[1].Parent, run)
+	}
+	if ev[2].Parent != iter || ev[2].Span != 0 {
+		t.Fatalf("compile span/parent = %d/%d, want 0/%d", ev[2].Span, ev[2].Parent, iter)
+	}
+}
+
+// Canonicalize must strip exactly the nondeterministic parts: timestamps,
+// "_ns"-suffixed fields (recursively) and "env_"-prefixed fields.
+func TestCanonicalizeStripsTimingAndEnv(t *testing.T) {
+	in := []Event{{
+		Seq: 1, TimeNS: 123, Type: "run-end", Span: 1,
+		Fields: map[string]any{
+			"best":        1.5,
+			"wall_ns":     int64(10),
+			"env_workers": 8,
+			"breakdown":   map[string]any{"gp_fit_ns": int64(5), "count": 3},
+			"rows":        []any{map[string]any{"wall_ns": int64(7), "pass": "gvn"}},
+		},
+	}}
+	got := Canonicalize(in)[0]
+	want := Event{
+		Seq: 1, Type: "run-end", Span: 1,
+		Fields: map[string]any{
+			"best":      1.5,
+			"breakdown": map[string]any{"count": 3},
+			"rows":      []any{map[string]any{"pass": "gvn"}},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("canonicalized = %#v, want %#v", got, want)
+	}
+	// The input must not be mutated.
+	if _, ok := in[0].Fields["wall_ns"]; !ok || in[0].TimeNS != 123 {
+		t.Fatal("Canonicalize mutated its input")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	r := NewRecorder(sink)
+	run := r.RunStart(map[string]any{"budget": 7, "feature": "stats"})
+	r.Measure(run, "mod", 1, 123.5, 1.25, 1.25, true, false, time.Millisecond)
+	r.RunEnd(run, map[string]any{"best_speedup": 1.25})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].Type != "run-start" || fieldInt(events[0].Fields, "budget") != 7 {
+		t.Fatalf("run-start mangled: %+v", events[0])
+	}
+	m := events[1]
+	if m.Type != "measure" || fieldFloat(m.Fields, "speedup") != 1.25 ||
+		fieldString(m.Fields, "module") != "mod" || !fieldBool(m.Fields, "ok") {
+		t.Fatalf("measure mangled: %+v", m)
+	}
+	if events[2].Type != "run-end" || fieldFloat(events[2].Fields, "best_speedup") != 1.25 {
+		t.Fatalf("run-end mangled: %+v", events[2])
+	}
+}
+
+func TestReadJournalRejectsMalformedLine(t *testing.T) {
+	_, err := ReadJournal(strings.NewReader("{\"seq\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse error", err)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi with no live sinks must return nil")
+	}
+	a, b := &MemorySink{}, &MemorySink{}
+	if got := Multi(nil, a); got != Sink(a) {
+		t.Fatal("Multi with one live sink must return it directly")
+	}
+	m := Multi(a, nil, b)
+	m.Emit(&Event{Seq: 1, Type: "x"})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatal("multi sink did not fan out")
+	}
+}
+
+// Histogram le semantics: a sample lands in the first bucket whose upper
+// bound is >= the value; above the last bound it lands in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.0, 1.0001, 2.0, 4.0, 4.0001, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	wantUpper := []float64{1, 2, 4, math.Inf(1)}
+	wantCum := []int64{2, 4, 5, 7} // le=1: {0.5,1}; le=2: +{1.0001,2}; le=4: +{4}; +Inf: +{4.0001,100}
+	if len(snap) != len(wantUpper) {
+		t.Fatalf("got %d buckets, want %d", len(snap), len(wantUpper))
+	}
+	for i, b := range snap {
+		if b.Upper != wantUpper[i] || b.Cumulative != wantCum[i] {
+			t.Fatalf("bucket %d = {%g, %d}, want {%g, %d}", i, b.Upper, b.Cumulative, wantUpper[i], wantCum[i])
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.0001+2+4+4.0001+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestNilMetricsReturnsLiveInstruments(t *testing.T) {
+	var m *Metrics
+	c := m.Counter("x_total")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("detached counter not live")
+	}
+	g := m.Gauge("g")
+	g.Set(2.5)
+	g.Add(0.5)
+	if g.Value() != 3 {
+		t.Fatal("detached gauge not live")
+	}
+	h := m.Histogram("h", DurationBuckets)
+	h.Observe(0.1)
+	if h.Count() != 1 {
+		t.Fatal("detached histogram not live")
+	}
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil registry must render nothing")
+	}
+}
+
+func TestMetricsRegistryGetOrCreate(t *testing.T) {
+	m := NewMetrics()
+	if m.Counter("a_total") != m.Counter("a_total") {
+		t.Fatal("counter lookup not stable")
+	}
+	if m.Histogram("h", []float64{1, 2}) != m.Histogram("h", []float64{9}) {
+		t.Fatal("histogram lookup not stable")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("jobs_total").Add(3)
+	m.Counter(`per_pass_total{pass="gvn"}`).Add(2)
+	m.Counter(`per_pass_total{pass="adce"}`).Add(1)
+	m.Gauge("depth").Set(1.5)
+	h := m.Histogram("lat_seconds", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter\njobs_total 3\n",
+		"# TYPE per_pass_total counter\nper_pass_total{pass=\"adce\"} 1\nper_pass_total{pass=\"gvn\"} 2\n",
+		"# TYPE depth gauge\ndepth 1.5\n",
+		"lat_seconds_bucket{le=\"1\"} 1\n",
+		"lat_seconds_bucket{le=\"2\"} 1\n",
+		"lat_seconds_bucket{le=\"+Inf\"} 2\n",
+		"lat_seconds_sum 3.5\n",
+		"lat_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Families must be sorted: depth < jobs_total < lat_seconds < per_pass_total.
+	if !(strings.Index(out, "# TYPE depth") < strings.Index(out, "# TYPE jobs_total") &&
+		strings.Index(out, "# TYPE jobs_total") < strings.Index(out, "# TYPE lat_seconds") &&
+		strings.Index(out, "# TYPE lat_seconds") < strings.Index(out, "# TYPE per_pass_total")) {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("hits_total").Inc()
+	srv, addr, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := httpGet("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+	if body := get("/metrics"); !strings.Contains(body, "hits_total 1") {
+		t.Fatalf("/metrics = %q", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	mem := &MemorySink{}
+	r := NewRecorder(mem)
+	for run := 0; run < 2; run++ {
+		span := r.RunStart(map[string]any{"budget": 3})
+		r.NewIncumbent(span, "", 0, 1.0)
+		r.Measure(span, "m", 1, 90, 1.1, 1.1, true, false, 0)
+		r.NewIncumbent(span, "m", 1, 1.1)
+		r.Measure(span, "m", 0, 90, 1.1, 1.1, true, true, 0) // reused: not on curve
+		r.Measure(span, "m", 2, 95, 1.05, 1.1, true, false, 0)
+		r.RunEnd(span, map[string]any{
+			"best_speedup": 1.1,
+			"pass_profile": []any{map[string]any{
+				"pass": "gvn", "invocations": 4, "fired": 2, "wall_ns": int64(100), "delta_total": 9,
+			}},
+		})
+	}
+	runs := Summarize(mem.Events())
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	for i := range runs {
+		s := &runs[i]
+		if got := s.BestSpeedup(); got != 1.1 {
+			t.Fatalf("run %d best = %v", i, got)
+		}
+		if len(s.Curve) != 2 || s.Curve[0].Measurement != 1 || s.Curve[1].Speedup != 1.05 {
+			t.Fatalf("run %d curve = %+v", i, s.Curve)
+		}
+		if len(s.Incumbents) != 2 {
+			t.Fatalf("run %d incumbents = %+v", i, s.Incumbents)
+		}
+		if len(s.PassProfile) != 1 || s.PassProfile[0].Pass != "gvn" || s.PassProfile[0].DeltaTotal != 9 {
+			t.Fatalf("run %d pass profile = %+v", i, s.PassProfile)
+		}
+	}
+}
+
+func TestBreakdownShares(t *testing.T) {
+	s := RunSummary{Final: map[string]any{"breakdown": map[string]any{
+		"gp_fit_ns": float64(10), "acq_max_ns": float64(50),
+		"compile_ns": float64(30), "measure_ns": float64(40),
+	}}}
+	shares := s.BreakdownShares()
+	// acquisition = acq - compile = 20; total = 10+20+30+40 = 100.
+	want := map[string]float64{"gp-fit": 0.1, "acquisition": 0.2, "compile": 0.3, "measure": 0.4}
+	if !reflect.DeepEqual(shares, want) {
+		t.Fatalf("shares = %v, want %v", shares, want)
+	}
+	if (&RunSummary{}).BreakdownShares() != nil {
+		t.Fatal("missing run-end must yield nil shares")
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TextRenderer is a Sink that renders journal events as the human-readable
+// verbose trace. Feeding the renderer and a JSONLSink from one Multi sink
+// guarantees the -v output and the journal can never diverge: both are
+// views of the same event stream.
+type TextRenderer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextRenderer renders events onto w.
+func NewTextRenderer(w io.Writer) *TextRenderer { return &TextRenderer{w: w} }
+
+// Emit implements Sink.
+func (t *TextRenderer) Emit(e *Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := e.Fields
+	switch e.Type {
+	case "run-start":
+		fmt.Fprintf(t.w, "run-start: budget=%v lambda=%v feature=%v modules=%v\n",
+			f["budget"], f["lambda"], f["feature"], f["hot_modules"])
+	case "measure":
+		if !fieldBool(f, "ok") {
+			fmt.Fprintf(t.w, "  meas ---  module %-14s FAILED (differential test or build)\n", f["module"])
+			return
+		}
+		if fieldBool(f, "reused") {
+			fmt.Fprintf(t.w, "  meas ---  module %-14s speedup %.3fx  (duplicate statistics, measurement reused)\n",
+				f["module"], fieldFloat(f, "speedup"))
+			return
+		}
+		fmt.Fprintf(t.w, "  meas %3d  module %-14s speedup %.3fx  best %.3fx\n",
+			fieldInt(f, "measurement"), f["module"],
+			fieldFloat(f, "speedup"), fieldFloat(f, "best"))
+	case "new-incumbent":
+		fmt.Fprintf(t.w, "  ** new incumbent: %.3fx (module %v, measurement %d)\n",
+			fieldFloat(f, "speedup"), f["module"], fieldInt(f, "measurement"))
+	case "gp-fit":
+		fmt.Fprintf(t.w, "  gp-fit: %d points, %d dims\n",
+			fieldInt(f, "points"), fieldInt(f, "dim"))
+	case "run-end":
+		fmt.Fprintf(t.w, "run-end: best %.3fx, %d measurements, %d compilations\n",
+			fieldFloat(f, "best_speedup"), fieldInt(f, "measurements"), fieldInt(f, "compilations"))
+	}
+}

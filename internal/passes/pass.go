@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/ir"
 )
@@ -88,12 +89,30 @@ func Names() []string {
 // When verifyEach is set, the IR is verified after every pass and the first
 // violation is reported as an error naming the offending pass (a pass bug).
 func Apply(m *ir.Module, sequence []string, st Stats, verifyEach bool) error {
+	return ApplyObserved(m, sequence, st, verifyEach, nil)
+}
+
+// ApplyObserved is Apply with per-pass profiling: when obs is non-nil, each
+// pass runs against a fresh Stats whose contents — the exact counters this
+// invocation changed — are reported to obs along with the pass's wall time,
+// then merged into st. The merged totals are identical to an unobserved run
+// (Stats.Add is additive), so profiling never changes what the cost model
+// sees. IR verification time is excluded from the reported wall time.
+func ApplyObserved(m *ir.Module, sequence []string, st Stats, verifyEach bool, obs Observer) error {
 	for _, name := range sequence {
 		p := byName[name]
 		if p == nil {
 			return fmt.Errorf("passes: unknown pass %q", name)
 		}
-		p.Run(m, st)
+		if obs == nil {
+			p.Run(m, st)
+		} else {
+			delta := Stats{}
+			t0 := time.Now()
+			p.Run(m, delta)
+			obs.PassRan(name, time.Since(t0), delta)
+			st.Merge(delta)
+		}
 		if verifyEach {
 			if err := ir.Verify(m); err != nil {
 				return fmt.Errorf("passes: IR invalid after %s: %w", name, err)

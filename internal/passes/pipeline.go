@@ -99,19 +99,25 @@ func LLVM10Names() []string {
 
 // ApplyLevel compiles m with a named optimisation level ("O0"..."O3", "Oz").
 func ApplyLevel(m *ir.Module, level string, st Stats) error {
+	return ApplyLevelObserved(m, level, st, nil)
+}
+
+// ApplyLevelObserved is ApplyLevel with per-pass profiling (see
+// ApplyObserved).
+func ApplyLevelObserved(m *ir.Module, level string, st Stats, obs Observer) error {
 	switch level {
 	case "O0", "":
 		return ir.Verify(m)
 	case "O1":
-		return Apply(m, O1Sequence(), st, false)
+		return ApplyObserved(m, O1Sequence(), st, false, obs)
 	case "O2":
-		return Apply(m, O2Sequence(), st, false)
+		return ApplyObserved(m, O2Sequence(), st, false, obs)
 	case "O3":
-		return Apply(m, O3Sequence(), st, false)
+		return ApplyObserved(m, O3Sequence(), st, false, obs)
 	case "Oz":
-		return Apply(m, OzSequence(), st, false)
+		return ApplyObserved(m, OzSequence(), st, false, obs)
 	}
-	return Apply(m, []string{level}, st, false)
+	return ApplyObserved(m, []string{level}, st, false, obs)
 }
 
 // Families groups the registry for documentation (Table 5.3).
