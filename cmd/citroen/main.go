@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -104,13 +108,13 @@ func main() {
 	}
 	ev.SetObs(metrics, prof)
 	if *metricsAddr != "" {
-		srv, bound, err := obs.Serve(*metricsAddr, metrics)
+		srv, err := obs.Serve(*metricsAddr, metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
-		fmt.Printf("Serving http://%s/metrics (pprof under /debug/pprof/)\n", bound)
+		defer srv.Shutdown(nil)
+		fmt.Printf("Serving http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 
 	opts := core.DefaultOptions()
@@ -129,7 +133,15 @@ func main() {
 		opts.Feature = core.FeatRawSeq
 	}
 
-	res, err := core.NewTuner(ev.Task(), opts, *seed).Run()
+	// First SIGINT/SIGTERM cancels the run gracefully: the tuner stops between
+	// steps, the journal gets its final run-end event and is flushed/closed,
+	// and the partial result prints. A second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := core.NewTuner(ev.Task(), opts, *seed).RunContext(ctx)
+	stop()
+	interrupted := errors.Is(err, context.Canceled)
 	if journal != nil {
 		if cerr := journal.Close(); cerr != nil {
 			fmt.Fprintf(os.Stderr, "trace-out: %v\n", cerr)
@@ -137,9 +149,16 @@ func main() {
 			fmt.Printf("Journal written to %s\n", *traceOut)
 		}
 	}
-	if err != nil {
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if interrupted {
+		if res == nil {
+			fmt.Fprintln(os.Stderr, "interrupted during setup; no measurements taken")
+			os.Exit(130)
+		}
+		fmt.Println("\nInterrupted — reporting the partial result.")
 	}
 
 	fmt.Printf("\nHot modules: %v\n", res.HotModules)

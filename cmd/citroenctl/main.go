@@ -1,0 +1,208 @@
+// Command citroenctl is the client for the citroend tuning service.
+//
+// Usage:
+//
+//	citroenctl [-addr URL] submit -bench telecom_gsm -budget 100 [-wait]
+//	citroenctl [-addr URL] status <job-id>
+//	citroenctl [-addr URL] list
+//	citroenctl [-addr URL] events <job-id> [-follow=false]
+//	citroenctl [-addr URL] cancel <job-id>
+//	citroenctl [-addr URL] wait <job-id>
+//	citroenctl [-addr URL] result <job-id>
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8171", "citroend base URL")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: citroenctl [-addr URL] <submit|status|list|events|cancel|wait|result> ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &serve.Client{BaseURL: strings.TrimRight(*addr, "/")}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(c, args)
+	case "status":
+		err = cmdStatus(c, args)
+	case "list":
+		err = cmdList(c)
+	case "events":
+		err = cmdEvents(c, args)
+	case "cancel":
+		err = cmdCancel(c, args)
+	case "wait":
+		err = cmdWait(c, args)
+	case "result":
+		err = cmdResult(c, args)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// parseWithID parses a subcommand whose flags may appear before or after the
+// job id (the flag package stops at the first positional argument).
+func parseWithID(fs *flag.FlagSet, args []string) (string, error) {
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return "", fmt.Errorf("expected a job id")
+	}
+	id := rest[0]
+	if len(rest) > 1 {
+		if err := fs.Parse(rest[1:]); err != nil {
+			return "", err
+		}
+		if fs.NArg() != 0 {
+			return "", fmt.Errorf("unexpected arguments: %v", fs.Args())
+		}
+	}
+	return id, nil
+}
+
+func printJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+func cmdSubmit(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var spec serve.JobSpec
+	fs.StringVar(&spec.Bench, "bench", "", "benchmark to tune (required)")
+	fs.StringVar(&spec.Platform, "platform", "", "arm or x86 (default arm)")
+	fs.IntVar(&spec.Budget, "budget", 0, "runtime measurements (default 50)")
+	fs.Int64Var(&spec.Seed, "seed", 0, "random seed (default 1)")
+	fs.IntVar(&spec.Lambda, "lambda", 0, "candidates per iteration")
+	fs.IntVar(&spec.Workers, "workers", 0, "candidate-compilation workers")
+	fs.StringVar(&spec.Feature, "feature", "", "stats|autophase|tokenmix|rawseq")
+	fs.IntVar(&spec.CheckpointEvery, "checkpoint-every", 0, "measurements between checkpoints")
+	adaptive := fs.Bool("adaptive", true, "adaptive multi-module budget allocation")
+	wait := fs.Bool("wait", false, "block until the job finishes, then print the result")
+	fs.Parse(args)
+	if !*adaptive {
+		spec.Adaptive = adaptive
+	}
+	st, err := c.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(st.ID)
+	if !*wait {
+		return nil
+	}
+	final, err := c.Wait(context.Background(), st.ID, 500*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if final.State != serve.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
+	}
+	res, err := c.Result(st.ID)
+	if err != nil {
+		return err
+	}
+	return printJSON(res)
+}
+
+func cmdStatus(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	id, err := parseWithID(fs, args)
+	if err != nil {
+		return err
+	}
+	st, err := c.Job(id)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdList(c *serve.Client) error {
+	jobs, err := c.Jobs()
+	if err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		best := ""
+		if j.BestSpeedup > 0 {
+			best = fmt.Sprintf("  best %.3fx (%d meas)", j.BestSpeedup, j.Measurements)
+		}
+		fmt.Printf("%s  %-11s  %-20s%s\n", j.ID, j.State, j.Spec.Bench, best)
+	}
+	return nil
+}
+
+func cmdEvents(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	follow := fs.Bool("follow", true, "stream live until the job finishes")
+	id, err := parseWithID(fs, args)
+	if err != nil {
+		return err
+	}
+	return c.Events(context.Background(), id, *follow, os.Stdout)
+}
+
+func cmdCancel(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	id, err := parseWithID(fs, args)
+	if err != nil {
+		return err
+	}
+	st, err := c.Cancel(id)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdWait(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("wait", flag.ExitOnError)
+	id, err := parseWithID(fs, args)
+	if err != nil {
+		return err
+	}
+	st, err := c.Wait(context.Background(), id, 500*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdResult(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	id, err := parseWithID(fs, args)
+	if err != nil {
+		return err
+	}
+	res, err := c.Result(id)
+	if err != nil {
+		return err
+	}
+	return printJSON(res)
+}

@@ -75,13 +75,13 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		cfg.Metrics = obs.NewMetrics()
-		srv, bound, err := obs.Serve(*metricsAddr, cfg.Metrics)
+		srv, err := obs.Serve(*metricsAddr, cfg.Metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
-		fmt.Printf("Serving http://%s/metrics (pprof under /debug/pprof/)\n", bound)
+		defer srv.Shutdown(nil)
+		fmt.Printf("Serving http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 
 	ids := []string{*run}

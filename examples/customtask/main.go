@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -112,10 +113,12 @@ func main() {
 
 	task := &core.BenchTask{
 		ModulesFn: func() []string { return []string{"user"} },
-		CompileFn: func(mod string, seq []string) (*ir.Module, passes.Stats, error) {
+		CompileFn: func(_ context.Context, mod string, seq []string) (*ir.Module, passes.Stats, error) {
 			return compile(seq)
 		},
-		MeasureFn:  measure,
+		MeasureFn: func(_ context.Context, seqs map[string][]string) (float64, error) {
+			return measure(seqs)
+		},
 		BaselineFn: func() float64 { return baseline },
 		HotFn:      func(float64) ([]string, error) { return []string{"user"}, nil },
 	}

@@ -6,6 +6,7 @@ package bench
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -345,7 +346,7 @@ func NewEvaluator(b *Benchmark, plat Platform, seed int64) (*Evaluator, error) {
 		ev.refOut = append(ev.refOut, res.Output)
 	}
 	// O3 baseline time.
-	t, st, err := ev.timeWithSequences(nil)
+	t, st, err := ev.timeWithSequences(context.Background(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -381,7 +382,14 @@ func (ev *Evaluator) Modules() []string { return ev.Bench.ModuleNames() }
 // (dataset 0) and returns it with its compilation statistics. This is the
 // cheap stats-extraction step: no execution happens. Safe for concurrent use.
 func (ev *Evaluator) CompileModule(name string, seq []string) (*ir.Module, passes.Stats, error) {
-	return ev.compiledFor(0, name, seq)
+	return ev.compiledFor(context.Background(), 0, name, seq)
+}
+
+// CompileModuleCtx is CompileModule under a cancellable context: a cancelled
+// ctx aborts before the pipeline runs (individual passes are fast; the win is
+// skipping queued candidate compiles on a cancelled run).
+func (ev *Evaluator) CompileModuleCtx(ctx context.Context, name string, seq []string) (*ir.Module, passes.Stats, error) {
+	return ev.compiledFor(ctx, 0, name, seq)
 }
 
 // CacheCounters returns the compiled-module cache hit/miss counts since the
@@ -422,7 +430,10 @@ func (ev *Evaluator) PassProfile() []passes.PassCost {
 // a private clone the caller may link and mutate; the returned stats are a
 // private copy. The pipeline only actually runs on a cache miss, which is
 // what makes repeated measurements of unchanged incumbents cheap.
-func (ev *Evaluator) compiledFor(ds int, name string, seq []string) (*ir.Module, passes.Stats, error) {
+func (ev *Evaluator) compiledFor(ctx context.Context, ds int, name string, seq []string) (*ir.Module, passes.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	var pristine *ir.Module
 	for _, m := range ev.pristine[ds] {
 		if m.Name == name {
@@ -513,16 +524,20 @@ func copyStats(st passes.Stats) passes.Stats {
 
 // timeWithSequences builds every dataset with the per-module sequences
 // (nil map entry or nil map = O3), differential-tests outputs and returns
-// the median runtime of dataset 0 plus the build's statistics.
-func (ev *Evaluator) timeWithSequences(seqs map[string][]string) (float64, passes.Stats, error) {
+// the median runtime of dataset 0 plus the build's statistics. The context
+// is checked before each dataset's build-and-run cycle.
+func (ev *Evaluator) timeWithSequences(ctx context.Context, seqs map[string][]string) (float64, passes.Stats, error) {
 	stats := passes.Stats{}
 	var t0 float64
 	for ds := 0; ds < ev.Datasets; ds++ {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		// Pipelines only re-run for modules whose sequence changed since the
 		// last build; unchanged incumbents come back as cached clones.
 		mods := make([]*ir.Module, 0, len(ev.pristine[ds]))
 		for _, pm := range ev.pristine[ds] {
-			m, st, err := ev.compiledFor(ds, pm.Name, seqs[pm.Name])
+			m, st, err := ev.compiledFor(ctx, ds, pm.Name, seqs[pm.Name])
 			if err != nil {
 				return 0, nil, err
 			}
@@ -557,7 +572,14 @@ func (ev *Evaluator) timeWithSequences(seqs map[string][]string) (float64, passe
 // Measure times the program with per-module sequences, differential-testing
 // the result. The returned speedup is O3time/time (higher is better).
 func (ev *Evaluator) Measure(seqs map[string][]string) (timeCycles, speedup float64, err error) {
-	t, _, err := ev.timeWithSequences(seqs)
+	return ev.MeasureCtx(context.Background(), seqs)
+}
+
+// MeasureCtx is Measure under a cancellable context: a cancelled ctx aborts
+// between dataset builds instead of finishing the full differential-test
+// cycle.
+func (ev *Evaluator) MeasureCtx(ctx context.Context, seqs map[string][]string) (timeCycles, speedup float64, err error) {
+	t, _, err := ev.timeWithSequences(ctx, seqs)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,21 +1,25 @@
 package bench
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/passes"
 )
 
 // Task adapts the evaluator to the core.Task interface that CITROEN and the
-// baseline tuners drive.
+// baseline tuners drive. The tuner's run context flows into the evaluator's
+// ctx-aware entry points, so cancelling a run aborts queued compiles and
+// in-progress measurement cycles.
 func (ev *Evaluator) Task() core.Task {
 	return &core.BenchTask{
 		ModulesFn: ev.Modules,
-		CompileFn: func(mod string, seq []string) (*ir.Module, passes.Stats, error) {
-			return ev.CompileModule(mod, seq)
+		CompileFn: func(ctx context.Context, mod string, seq []string) (*ir.Module, passes.Stats, error) {
+			return ev.CompileModuleCtx(ctx, mod, seq)
 		},
-		MeasureFn: func(seqs map[string][]string) (float64, error) {
-			t, _, err := ev.Measure(seqs)
+		MeasureFn: func(ctx context.Context, seqs map[string][]string) (float64, error) {
+			t, _, err := ev.MeasureCtx(ctx, seqs)
 			return t, err
 		},
 		BaselineFn: ev.O3Time,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -77,6 +78,22 @@ type Options struct {
 	// evaluation pool (queue depth, worker utilisation). nil uses a
 	// tuner-private registry, which still feeds Result.Breakdown.
 	Metrics *obs.Metrics
+	// Checkpoint, when non-nil, receives durable snapshots of the tuner's
+	// state (incumbent, measurement history) so an interrupted run can be
+	// resumed via ResumeFrom. The hook runs on the tuner goroutine; an error
+	// aborts the run — a caller persisting state must not believe the run is
+	// durable when writes fail. A final snapshot is always taken before the
+	// run returns (including on cancellation).
+	Checkpoint func(*Checkpoint) error
+	// CheckpointEvery additionally fires the Checkpoint hook every N consumed
+	// measurements; 0 means final-only.
+	CheckpointEvery int
+	// ResumeFrom warm-starts the run by replaying a prior checkpoint's
+	// observations into the model, generators and incumbent tracking. The
+	// replayed observations count against Budget (they were paid for by the
+	// interrupted run), so a resumed run finishes the original budget instead
+	// of starting a fresh one.
+	ResumeFrom *Checkpoint
 }
 
 // DefaultOptions mirror the paper's setup.
@@ -168,6 +185,8 @@ type Tuner struct {
 	opts Options
 	rng  *rand.Rand
 	pool *evalpool.Pool
+	seed int64
+	ctx  context.Context // run context; set by RunContext, nil before
 
 	vocab   []string
 	vIndex  map[string]int
@@ -185,6 +204,13 @@ type Tuner struct {
 
 	candsCompiled int
 	candsDup      int
+
+	// Checkpoint state: the append-only measurement log (maintained only when
+	// a Checkpoint hook is set), the log length at the last snapshot, and
+	// whether the run ended by cancellation.
+	obsLog      []Observation
+	lastCkpt    int
+	interrupted bool
 
 	// Observability. rec is nil when journaling is disabled (every emit is
 	// then a single nil check). The metric instruments are resolved once at
@@ -223,7 +249,7 @@ func NewTuner(task Task, opts Options, seed int64) *Tuner {
 		met = obs.NewMetrics()
 	}
 	t := &Tuner{
-		task: task, opts: opts, rng: rand.New(rand.NewSource(seed)),
+		task: task, opts: opts, rng: rand.New(rand.NewSource(seed)), seed: seed,
 		pool:  evalpool.New(opts.Workers),
 		vocab: vocab, vIndex: vi,
 		space:   heuristic.SeqSpace{Vocab: len(vocab), MinLen: opts.SeqMin, MaxLen: opts.SeqMax},
@@ -309,8 +335,30 @@ func (t *Tuner) knownIndices(seq []string) []int {
 	return out
 }
 
-// Run executes the tuning loop.
-func (t *Tuner) Run() (*Result, error) {
+// Run executes the tuning loop to completion under a background context.
+func (t *Tuner) Run() (*Result, error) { return t.RunContext(context.Background()) }
+
+// runCtx returns the run context, tolerating direct test calls into tuner
+// internals before RunContext has set it.
+func (t *Tuner) runCtx() context.Context {
+	if t.ctx == nil {
+		return context.Background()
+	}
+	return t.ctx
+}
+
+// RunContext executes the tuning loop under ctx. Cancellation is graceful:
+// the tuner stops between steps (never mid-measurement bookkeeping), takes a
+// final checkpoint when a Checkpoint hook is set, finalizes the partial
+// Result — best-so-far sequences, trace, breakdown, an "interrupted" run-end
+// journal event — and returns it alongside ctx's error. Cancellation during
+// setup (baseline compiles, before any observation exists) returns a nil
+// Result. A nil ctx behaves like Run.
+func (t *Tuner) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t.ctx = ctx
 	start := time.Now()
 	t.res = &Result{BestSeqs: map[string][]string{}, ModuleBudget: map[string]int{}}
 	t.base = t.task.BaselineTime()
@@ -363,9 +411,9 @@ func (t *Tuner) Run() (*Result, error) {
 	baseFeats := make([]sparseVec, len(hot))
 	baseErrs := make([]error, len(hot))
 	baseDurs := make([]time.Duration, len(hot))
-	t.pool.Map(len(hot), func(i int) {
+	t.pool.MapCtx(t.ctx, len(hot), func(i int) {
 		tc := time.Now()
-		m, st, err := t.task.CompileModule(hot[i], nil)
+		m, st, err := t.task.CompileModule(t.ctx, hot[i], nil)
 		baseDurs[i] = time.Since(tc)
 		if err != nil {
 			baseErrs[i] = fmt.Errorf("core: baseline compile of %s: %w", hot[i], err)
@@ -373,6 +421,9 @@ func (t *Tuner) Run() (*Result, error) {
 		}
 		baseFeats[i] = extract(t.opts.Feature, m, st, passes.O3Sequence())
 	})
+	if err := t.ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, name := range hot {
 		if baseErrs[i] != nil {
 			return nil, baseErrs[i]
@@ -415,55 +466,92 @@ func (t *Tuner) Run() (*Result, error) {
 	t.gBest.Set(1.0)
 	t.rec.NewIncumbent(t.runSpan, "", 0, 1.0)
 
+	// Warm start: replay a prior run's checkpoint into the model, generators
+	// and incumbents. The replayed observations already consumed budget.
+	used := 0
+	if t.opts.ResumeFrom != nil {
+		n, err := t.replayCheckpoint(t.opts.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		used = n
+	}
+
 	// Cross-program transfer: measure the seed sequences first (they embody
 	// program-independent pass correlations, §6.3.2).
-	used := 0
 	for _, si := range seedIdx {
-		if used >= t.opts.Budget {
+		if used >= t.opts.Budget || t.ctx.Err() != nil {
 			break
 		}
 		idx := clampSeq(si, t.space, t.rng)
 		for _, ms := range t.mods {
-			if used >= t.opts.Budget {
+			if used >= t.opts.Budget || t.ctx.Err() != nil {
 				break
 			}
 			if t.measureCandidate(ms, idx, nil) {
 				used++
+				if err := t.maybeCheckpoint(0, false); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
 
 	// Initial random configurations (consume budget).
-	for i := 0; i < t.opts.InitRandom && used < t.opts.Budget; i++ {
+	for i := 0; i < t.opts.InitRandom && used < t.opts.Budget && t.ctx.Err() == nil; i++ {
 		ms := t.mods[i%len(t.mods)]
 		seq := t.space.Sample(t.rng)
 		if t.measureCandidate(ms, seq, nil) {
 			used++
+			if err := t.maybeCheckpoint(0, false); err != nil {
+				return nil, err
+			}
 		}
 	}
 
 	// Model-guided loop.
+	iters := 0
 	maxIters := t.opts.Budget * 6
 	for iter := 0; used < t.opts.Budget && iter < maxIters; iter++ {
+		if t.ctx.Err() != nil {
+			break
+		}
+		iters = iter + 1
 		t.curSpan = t.rec.Iteration(t.runSpan, iter, used)
 		if err := t.fitModel(iter); err != nil {
 			return nil, err
 		}
 		sel, selFeat, ok := t.proposeCandidate()
 		if !ok {
+			if t.ctx.Err() != nil {
+				break
+			}
 			// Nothing compiled successfully this round; fall back to random.
 			ms := t.mods[t.rng.Intn(len(t.mods))]
 			if t.measureCandidate(ms, t.space.Sample(t.rng), nil) {
 				used++
+				if err := t.maybeCheckpoint(iters, false); err != nil {
+					return nil, err
+				}
 			}
 			continue
 		}
 		if t.measureCandidate(sel.ms, sel.seq, selFeat) {
 			used++
+			if err := t.maybeCheckpoint(iters, false); err != nil {
+				return nil, err
+			}
 		}
 	}
 
+	t.interrupted = t.ctx.Err() != nil
+	if err := t.maybeCheckpoint(iters, true); err != nil {
+		return nil, err
+	}
 	t.finalize(start)
+	if t.interrupted {
+		return t.res, t.ctx.Err()
+	}
 	return t.res, nil
 }
 
@@ -629,12 +717,14 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 	}
 
 	// Phase 2 (parallel): compile and feature-extract all Lambda × |targets|
-	// candidates. Each worker writes only its own submit-order slot.
-	t.pool.Map(len(jobs), func(i int) {
+	// candidates. Each worker writes only its own submit-order slot. On
+	// cancellation unclaimed jobs stay !ok and are skipped by scoring.
+	ctx := t.runCtx()
+	t.pool.MapCtx(ctx, len(jobs), func(i int) {
 		j := &jobs[i]
 		names := t.seqStrings(j.seq)
 		tc := time.Now()
-		m, st, err := t.task.CompileModule(j.ms.name, names)
+		m, st, err := t.task.CompileModule(ctx, j.ms.name, names)
 		j.compile = time.Since(tc)
 		if err != nil {
 			return
@@ -739,7 +829,7 @@ func (t *Tuner) compileCandidate(ms *moduleState, seq []int) (sparseVec, bool) {
 	}()
 	t.candsCompiled++
 	t.mComp.Inc()
-	m, st, err := t.task.CompileModule(ms.name, t.seqStrings(seq))
+	m, st, err := t.task.CompileModule(t.runCtx(), ms.name, t.seqStrings(seq))
 	if err != nil {
 		return nil, false
 	}
@@ -751,6 +841,9 @@ func (t *Tuner) compileCandidate(ms *moduleState, seq []int) (sparseVec, bool) {
 // It returns true when a real measurement consumed budget (false for
 // duplicate reuse or failed builds).
 func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]sparseVec) bool {
+	if t.runCtx().Err() != nil {
+		return false
+	}
 	fv := knownFV
 	if fv == nil {
 		cf, ok := t.compileCandidate(ms, seq)
@@ -774,7 +867,7 @@ func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]
 	seqs := t.currentSequences()
 	seqs[ms.name] = t.seqStrings(seq)
 	tm := time.Now()
-	timeC, err := t.task.Measure(seqs)
+	timeC, err := t.task.Measure(t.runCtx(), seqs)
 	wall := time.Since(tm)
 	t.res.Breakdown.Measure += wall
 	t.hMeasure.Observe(wall.Seconds())
@@ -787,6 +880,9 @@ func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]
 	t.mMeas.Inc()
 	y := timeC / t.base
 	t.recordObservation(fv, y)
+	if t.opts.Checkpoint != nil {
+		t.obsLog = append(t.obsLog, Observation{Module: ms.name, Seq: t.seqStrings(seq), Y: y})
+	}
 	t.tellGenerators(ms, seq, y)
 	t.res.ModuleBudget[ms.name]++
 	// 1/y, not base/timeC: finalize computes BestSpeedup as 1/bestY, and the
@@ -866,6 +962,7 @@ func (t *Tuner) finalize(start time.Time) {
 			"novel_selections":   t.res.NovelSelections,
 			"candidate_dup_rate": t.res.CandidateDupRate,
 			"cache_hits":         bd.CacheHits, "cache_misses": bd.CacheMisses,
+			"interrupted":        t.interrupted,
 			"breakdown": map[string]any{
 				"gp_fit_ns": bd.GPFit.Nanoseconds(), "acq_max_ns": bd.AcqMax.Nanoseconds(),
 				"compile_ns": bd.Compile.Nanoseconds(), "measure_ns": bd.Measure.Nanoseconds(),

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -10,6 +12,7 @@ import (
 
 	"repro/internal/heuristic"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/passes"
 )
 
@@ -72,7 +75,7 @@ func (s *syntheticTask) cost(seq []string) (float64, error) {
 
 func (s *syntheticTask) Modules() []string { return []string{"mod"} }
 
-func (s *syntheticTask) CompileModule(mod string, seq []string) (*ir.Module, passes.Stats, error) {
+func (s *syntheticTask) CompileModule(_ context.Context, mod string, seq []string) (*ir.Module, passes.Stats, error) {
 	s.mu.Lock()
 	s.compiles++
 	s.mu.Unlock()
@@ -91,7 +94,7 @@ func (s *syntheticTask) CompileModule(mod string, seq []string) (*ir.Module, pas
 	return m, st, nil
 }
 
-func (s *syntheticTask) Measure(seqs map[string][]string) (float64, error) {
+func (s *syntheticTask) Measure(_ context.Context, seqs map[string][]string) (float64, error) {
 	s.mu.Lock()
 	s.measures++
 	s.mu.Unlock()
@@ -434,5 +437,177 @@ func TestSeedSequencesTransfer(t *testing.T) {
 	}
 	if len(res2.Trace) == 0 {
 		t.Fatal("no measurements without seeds")
+	}
+}
+
+// --- checkpoint, resume, cancellation ---
+
+// eventLog captures journal events for assertions.
+type eventLog struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (l *eventLog) Emit(e *obs.Event) {
+	l.mu.Lock()
+	cp := *e
+	l.events = append(l.events, cp)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) types() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.events))
+	for i := range l.events {
+		out[i] = l.events[i].Type
+	}
+	return out
+}
+
+// cancellingTask cancels a context after a fixed number of measurements.
+type cancellingTask struct {
+	*syntheticTask
+	mu     sync.Mutex
+	n      int
+	after  int
+	cancel context.CancelFunc
+}
+
+func (c *cancellingTask) Measure(ctx context.Context, seqs map[string][]string) (float64, error) {
+	c.mu.Lock()
+	c.n++
+	if c.n == c.after {
+		c.cancel()
+	}
+	c.mu.Unlock()
+	return c.syntheticTask.Measure(ctx, seqs)
+}
+
+func TestCheckpointHookFiresAndIsConsistent(t *testing.T) {
+	task := newSyntheticTask(t)
+	var ckpts []*Checkpoint
+	opts := fastOpts()
+	opts.Budget = 12
+	opts.CheckpointEvery = 4
+	opts.Checkpoint = func(c *Checkpoint) error { ckpts = append(ckpts, c); return nil }
+	res, err := NewTuner(task, opts, 3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) < 2 {
+		t.Fatalf("expected periodic + final checkpoints, got %d", len(ckpts))
+	}
+	last := ckpts[len(ckpts)-1]
+	if err := last.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if last.Measurements != len(last.Observations) {
+		t.Fatalf("Measurements=%d, len(Observations)=%d", last.Measurements, len(last.Observations))
+	}
+	if last.Measurements != len(res.Trace) {
+		t.Fatalf("final checkpoint has %d measurements, trace has %d", last.Measurements, len(res.Trace))
+	}
+	if last.BestSpeedup != res.BestSpeedup {
+		t.Fatalf("checkpoint best %v != result best %v", last.BestSpeedup, res.BestSpeedup)
+	}
+	// Periodic snapshots land on CheckpointEvery boundaries.
+	for _, c := range ckpts[:len(ckpts)-1] {
+		if c.Measurements%opts.CheckpointEvery != 0 {
+			t.Fatalf("periodic checkpoint at %d measurements, every=%d", c.Measurements, opts.CheckpointEvery)
+		}
+	}
+}
+
+func TestCancelMidRunCheckpointsAndResumes(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	task := &cancellingTask{syntheticTask: newSyntheticTask(t), after: 6, cancel: cancel}
+
+	var last *Checkpoint
+	log1 := &eventLog{}
+	opts := fastOpts()
+	opts.Budget = 20
+	opts.CheckpointEvery = 2
+	opts.Checkpoint = func(c *Checkpoint) error { last = c; return nil }
+	opts.Sink = log1
+	res, err := NewTuner(task, opts, 7).RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Trace) == 0 {
+		t.Fatal("cancelled run must still return the partial result")
+	}
+	if last == nil {
+		t.Fatal("no final checkpoint on cancellation")
+	}
+	if last.Measurements != len(res.Trace) {
+		t.Fatalf("checkpoint %d measurements, trace %d", last.Measurements, len(res.Trace))
+	}
+	found := false
+	for _, typ := range log1.types() {
+		if typ == "run-end" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cancelled run journal is missing run-end")
+	}
+
+	// Resume with the remaining budget: the warm start must preserve the
+	// incumbent and consume no extra budget for the replayed observations.
+	log2 := &eventLog{}
+	opts2 := fastOpts()
+	opts2.Budget = opts.Budget
+	opts2.ResumeFrom = last
+	opts2.Checkpoint = func(c *Checkpoint) error { return nil }
+	opts2.Sink = log2
+	res2, err := NewTuner(newSyntheticTask(t), opts2, 7).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BestSpeedup < last.BestSpeedup-1e-9 {
+		t.Fatalf("resumed best %v < checkpointed best %v", res2.BestSpeedup, last.BestSpeedup)
+	}
+	if got := len(res2.Trace); got > opts.Budget-last.Measurements {
+		t.Fatalf("resumed run measured %d times, budget remainder is %d",
+			got, opts.Budget-last.Measurements)
+	}
+	resumed := false
+	for _, typ := range log2.types() {
+		if typ == "resume" {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Fatal("resumed run journal is missing the resume event")
+	}
+}
+
+func TestResumeRejectsBadCheckpoints(t *testing.T) {
+	task := newSyntheticTask(t)
+	opts := fastOpts()
+	opts.ResumeFrom = &Checkpoint{Version: 99}
+	if _, err := NewTuner(task, opts, 1).Run(); err == nil {
+		t.Fatal("version mismatch must fail the run")
+	}
+	opts.ResumeFrom = &Checkpoint{
+		Version:      CheckpointVersion,
+		Observations: []Observation{{Module: "nope", Seq: []string{"mem2reg"}, Y: 0.9}},
+	}
+	if _, err := NewTuner(task, opts, 1).Run(); err == nil {
+		t.Fatal("unknown module must fail the run")
+	}
+}
+
+func TestCancelDuringSetupReturnsNilResult(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := NewTuner(newSyntheticTask(t), fastOpts(), 1).RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("setup-phase cancellation must not fabricate a result")
 	}
 }

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/ir"
 	"repro/internal/passes"
 )
@@ -19,6 +21,13 @@ import (
 // how to measure the whole program under per-module sequences. The bench
 // package provides the standard implementation; examples/customtask shows a
 // user-defined one.
+//
+// The compile and measure hooks take a context so long tuning runs are
+// cancellable end to end: the tuner passes its run context down, and
+// implementations doing real work (spawning compilers, running binaries)
+// should abort promptly when it is cancelled. Implementations that cannot
+// usefully interrupt may ignore it — the tuner also checks the context
+// between steps.
 type Task interface {
 	// Modules lists the tunable compilation units.
 	Modules() []string
@@ -26,11 +35,11 @@ type Task interface {
 	// the -O3 baseline pipeline. No execution happens. The tuner calls this
 	// from its evaluation pool, so implementations must be safe for
 	// concurrent use unless the tuner runs with Options.Workers == 1.
-	CompileModule(mod string, seq []string) (*ir.Module, passes.Stats, error)
+	CompileModule(ctx context.Context, mod string, seq []string) (*ir.Module, passes.Stats, error)
 	// Measure builds the program with the given per-module sequences
 	// (missing entries = -O3), runs it with differential testing and returns
 	// the measured time (lower is better).
-	Measure(seqs map[string][]string) (float64, error)
+	Measure(ctx context.Context, seqs map[string][]string) (float64, error)
 	// BaselineTime is the -O3 measurement.
 	BaselineTime() float64
 	// HotModules returns the modules worth tuning, most expensive first,
@@ -62,8 +71,8 @@ type PassProfileReporter interface {
 // with experiment helpers).
 type BenchTask struct {
 	ModulesFn  func() []string
-	CompileFn  func(mod string, seq []string) (*ir.Module, passes.Stats, error)
-	MeasureFn  func(seqs map[string][]string) (float64, error)
+	CompileFn  func(ctx context.Context, mod string, seq []string) (*ir.Module, passes.Stats, error)
+	MeasureFn  func(ctx context.Context, seqs map[string][]string) (float64, error)
 	BaselineFn func() float64
 	HotFn      func(coverage float64) ([]string, error)
 	// CacheFn, when set, reports the evaluator's compiled-module cache
@@ -78,12 +87,14 @@ type BenchTask struct {
 func (t *BenchTask) Modules() []string { return t.ModulesFn() }
 
 // CompileModule implements Task.
-func (t *BenchTask) CompileModule(mod string, seq []string) (*ir.Module, passes.Stats, error) {
-	return t.CompileFn(mod, seq)
+func (t *BenchTask) CompileModule(ctx context.Context, mod string, seq []string) (*ir.Module, passes.Stats, error) {
+	return t.CompileFn(ctx, mod, seq)
 }
 
 // Measure implements Task.
-func (t *BenchTask) Measure(seqs map[string][]string) (float64, error) { return t.MeasureFn(seqs) }
+func (t *BenchTask) Measure(ctx context.Context, seqs map[string][]string) (float64, error) {
+	return t.MeasureFn(ctx, seqs)
+}
 
 // BaselineTime implements Task.
 func (t *BenchTask) BaselineTime() float64 { return t.BaselineFn() }

@@ -5,9 +5,15 @@
 // data. Jobs that need randomness use MapSeeded, which derives a private RNG
 // per index from a base seed — workers never share an RNG, and no job's
 // random stream depends on which worker ran it.
+//
+// Two execution shapes are provided: Map/MapCtx for one-shot fan-outs
+// (the tuner's per-iteration candidate batch), and Queue for long-lived
+// bounded work queues with cancellable submission (the tuning-job server).
 package evalpool
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -64,8 +70,20 @@ func (p *Pool) Instrument(m *obs.Metrics) {
 // in any job is re-raised on the calling goroutine after the remaining
 // workers drain.
 func (p *Pool) Map(n int, fn func(i int)) {
+	p.MapCtx(context.Background(), n, fn)
+}
+
+// MapCtx is Map with cancellation: once ctx is done, no further indices are
+// claimed (jobs already started run to completion) and the context's error
+// is returned. Callers that fan out into caller-owned result slots must
+// treat unclaimed slots as absent on a non-nil return. A nil ctx behaves
+// like context.Background().
+func (p *Pool) MapCtx(ctx context.Context, n int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if p.batches != nil {
 		p.batches.Inc()
@@ -79,6 +97,9 @@ func (p *Pool) Map(n int, fn func(i int)) {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if p.queued != nil {
 				p.queued.Set(float64(n - i - 1))
 				p.active.Set(1)
@@ -88,7 +109,7 @@ func (p *Pool) Map(n int, fn func(i int)) {
 				p.active.Set(0)
 			}
 		}
-		return
+		return ctx.Err()
 	}
 	var (
 		next  atomic.Int64
@@ -102,6 +123,9 @@ func (p *Pool) Map(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1))
 				if i >= n {
 					return
@@ -134,6 +158,7 @@ func (p *Pool) Map(n int, fn func(i int)) {
 	if pan != nil {
 		panic(pan)
 	}
+	return ctx.Err()
 }
 
 // MapSeeded is Map with a per-index rand.Rand seeded with baseSeed + i, so
@@ -144,4 +169,131 @@ func (p *Pool) MapSeeded(n int, baseSeed int64, fn func(i int, rng *rand.Rand)) 
 	p.Map(n, func(i int) {
 		fn(i, rand.New(rand.NewSource(baseSeed+int64(i))))
 	})
+}
+
+// Queue errors.
+var (
+	// ErrQueueClosed is returned by Submit/TrySubmit after Close.
+	ErrQueueClosed = errors.New("evalpool: queue closed")
+	// ErrQueueFull is returned by TrySubmit when the buffer is at capacity.
+	ErrQueueFull = errors.New("evalpool: queue full")
+)
+
+// Queue is a long-lived bounded FIFO work queue with a fixed worker count.
+// Unlike Pool.Map (one-shot fan-out with a barrier), jobs are submitted
+// individually over the queue's lifetime and execute in FIFO order across
+// the workers. Submission is cancellable: a Submit blocked on a full buffer
+// unblocks as soon as its context is cancelled or the queue closes, so a
+// producer can never deadlock against stalled workers.
+type Queue struct {
+	jobs chan func()
+	quit chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	subWG  sync.WaitGroup // in-flight Submit/TrySubmit calls
+	wg     sync.WaitGroup // worker goroutines
+}
+
+// NewQueue starts a queue with the given worker count and buffer capacity.
+// workers <= 0 selects runtime.GOMAXPROCS(0); capacity <= 0 means an
+// unbuffered queue (Submit blocks until a worker is free).
+func NewQueue(workers, capacity int) *Queue {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	q := &Queue{
+		jobs: make(chan func(), capacity),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for job := range q.jobs {
+				job()
+			}
+		}()
+	}
+	return q
+}
+
+// Submit enqueues job, blocking while the buffer is full. It returns nil on
+// acceptance, the context's error if ctx is cancelled while blocked, or
+// ErrQueueClosed if the queue closes first (or was already closed). An
+// accepted job is guaranteed to run before Close returns.
+func (q *Queue) Submit(ctx context.Context, job func()) error {
+	if job == nil {
+		return errors.New("evalpool: nil job")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrQueueClosed
+	}
+	q.subWG.Add(1)
+	q.mu.Unlock()
+	defer q.subWG.Done()
+	select {
+	case q.jobs <- job:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-q.quit:
+		return ErrQueueClosed
+	}
+}
+
+// TrySubmit enqueues job without blocking, returning ErrQueueFull when the
+// buffer is at capacity (the bounded-queue admission-control path).
+func (q *Queue) TrySubmit(job func()) error {
+	if job == nil {
+		return errors.New("evalpool: nil job")
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrQueueClosed
+	}
+	q.subWG.Add(1)
+	q.mu.Unlock()
+	defer q.subWG.Done()
+	select {
+	case q.jobs <- job:
+		return nil
+	case <-q.quit:
+		return ErrQueueClosed
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Backlog reports the number of accepted jobs not yet claimed by a worker.
+func (q *Queue) Backlog() int { return len(q.jobs) }
+
+// Close stops accepting new jobs, unblocks every pending Submit (they return
+// ErrQueueClosed), runs all previously accepted jobs to completion, and
+// waits for the workers to exit. Safe to call more than once.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	close(q.quit)
+	q.mu.Unlock()
+	// After quit is closed, no Submit can enter the send select and win a
+	// slot once it has observed quit; wait for stragglers mid-select, then
+	// closing the channel lets workers drain the buffer and exit.
+	q.subWG.Wait()
+	close(q.jobs)
+	q.wg.Wait()
 }

@@ -23,6 +23,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"os"
@@ -76,12 +77,33 @@ func (m multiSink) Emit(e *Event) {
 	}
 }
 
+// BaseSeq implements SeqBase: the largest base among the fan-out's sinks, so
+// a renderer multiplexed with an appended journal file never rewinds the
+// sequence numbers.
+func (m multiSink) BaseSeq() int64 {
+	var base int64
+	for _, s := range m {
+		if b, ok := s.(SeqBase); ok && b.BaseSeq() > base {
+			base = b.BaseSeq()
+		}
+	}
+	return base
+}
+
+// SeqBase is implemented by sinks that continue an existing journal: the
+// recorder starts numbering events at BaseSeq()+1, keeping sequence numbers
+// monotonic across process restarts (checkpoint/resume of a tuning job).
+type SeqBase interface {
+	BaseSeq() int64
+}
+
 // JSONLSink writes one JSON object per line. Safe for concurrent use; the
 // first write error is sticky and reported by Close.
 type JSONLSink struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
 	closer io.Closer
+	base   int64
 	err    error
 }
 
@@ -100,6 +122,78 @@ func CreateJSONLFile(path string) (*JSONLSink, error) {
 	s := NewJSONLSink(f)
 	s.closer = f
 	return s, nil
+}
+
+// AppendJSONLFile opens (creating if absent) path for appending and returns
+// a sink that owns the file and continues its sequence numbering: BaseSeq
+// reports the last valid event's seq, so a Recorder built over this sink
+// numbers new events monotonically after the existing journal. A truncated
+// trailing line — the signature of a process killed mid-write — is removed
+// before appending so the journal stays valid JSONL.
+func AppendJSONLFile(path string) (*JSONLSink, error) {
+	base, validLen, err := scanJournalTail(path)
+	if err != nil {
+		return nil, err
+	}
+	if validLen >= 0 {
+		if err := os.Truncate(path, validLen); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := NewJSONLSink(f)
+	s.closer = f
+	s.base = base
+	return s, nil
+}
+
+// scanJournalTail reads an existing journal, returning the last valid seq
+// and, when the file ends with a torn (unparseable or unterminated) final
+// line, the byte length the file should be truncated to (-1 = no repair
+// needed). A missing file yields (0, -1, nil).
+func scanJournalTail(path string) (lastSeq, truncateTo int64, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, -1, nil
+	}
+	if err != nil {
+		return 0, -1, err
+	}
+	pos := 0
+	for pos < len(data) {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl < 0 {
+			break // unterminated tail: killed mid-write
+		}
+		var e Event
+		if jsonErr := json.Unmarshal(data[pos:pos+nl], &e); jsonErr != nil || e.Seq == 0 {
+			break // torn or foreign line: everything from here is dropped
+		}
+		lastSeq = e.Seq
+		pos += nl + 1
+	}
+	if pos < len(data) {
+		return lastSeq, int64(pos), nil
+	}
+	return lastSeq, -1, nil
+}
+
+// BaseSeq implements SeqBase (non-zero only for AppendJSONLFile sinks).
+func (s *JSONLSink) BaseSeq() int64 { return s.base }
+
+// Flush forces buffered events to the underlying writer without closing the
+// sink, so live consumers (e.g. the tuning service's event stream) can tail
+// the file while the run is still in flight.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); s.err == nil && err != nil {
+		s.err = err
+	}
+	return s.err
 }
 
 // Emit implements Sink.
@@ -174,12 +268,20 @@ type Recorder struct {
 	start time.Time
 }
 
-// NewRecorder returns a recorder over sink, or nil (disabled) for a nil sink.
+// NewRecorder returns a recorder over sink, or nil (disabled) for a nil
+// sink. A sink implementing SeqBase (e.g. from AppendJSONLFile) makes the
+// recorder continue the existing journal's numbering instead of restarting
+// at 1, so resumed runs keep sequence numbers strictly monotonic.
 func NewRecorder(sink Sink) *Recorder {
+	r := &Recorder{sink: sink, start: time.Now()}
 	if sink == nil {
 		return nil
 	}
-	return &Recorder{sink: sink, start: time.Now()}
+	if b, ok := sink.(SeqBase); ok {
+		r.seq = b.BaseSeq()
+		r.spans = r.seq // span IDs share the namespace headroom
+	}
+	return r
 }
 
 // Enabled reports whether events are being recorded. Callers building
@@ -308,6 +410,29 @@ func (r *Recorder) NewIncumbent(parent int64, module string, measurement int, sp
 	}
 	r.emit("new-incumbent", -1, parent, map[string]any{
 		"module": module, "measurement": measurement, "speedup": speedup,
+	})
+}
+
+// Checkpoint records a durable snapshot of tuner state (measurements
+// consumed and incumbent speedup at the time the checkpoint hook ran).
+func (r *Recorder) Checkpoint(parent int64, measurements int, best float64) {
+	if r == nil {
+		return
+	}
+	r.emit("checkpoint", -1, parent, map[string]any{
+		"measurements": measurements, "best": best,
+	})
+}
+
+// Resume records a warm-start from a checkpoint: replayed is the number of
+// observations re-injected into the model without consuming budget, best the
+// incumbent speedup restored by the replay.
+func (r *Recorder) Resume(parent int64, replayed int, best float64) {
+	if r == nil {
+		return
+	}
+	r.emit("resume", -1, parent, map[string]any{
+		"replayed": replayed, "best": best,
 	})
 }
 

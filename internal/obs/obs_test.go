@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -257,11 +258,12 @@ func TestWritePrometheusFormat(t *testing.T) {
 func TestServeMetricsAndPprof(t *testing.T) {
 	m := NewMetrics()
 	m.Counter("hits_total").Inc()
-	srv, addr, err := Serve("127.0.0.1:0", m)
+	srv, err := Serve("127.0.0.1:0", m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
+	addr := srv.Addr()
 	get := func(path string) string {
 		resp, err := httpGet("http://" + addr + path)
 		if err != nil {
@@ -328,5 +330,103 @@ func TestBreakdownShares(t *testing.T) {
 	}
 	if (&RunSummary{}).BreakdownShares() != nil {
 		t.Fatal("missing run-end must yield nil shares")
+	}
+}
+
+// Appended journals must continue sequence numbering monotonically and
+// repair a torn tail left behind by a killed process.
+func TestAppendJSONLFileContinuesSeq(t *testing.T) {
+	path := t.TempDir() + "/journal.jsonl"
+	s1, err := AppendJSONLFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRecorder(s1)
+	span := r1.RunStart(map[string]any{"budget": 1})
+	r1.Measure(span, "m", 1, 100, 1.1, 1.1, true, false, 0)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a SIGKILL mid-write: a torn trailing line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"type":"mea`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := AppendJSONLFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.BaseSeq() != 2 {
+		t.Fatalf("BaseSeq = %d, want 2 (torn line dropped)", s2.BaseSeq())
+	}
+	r2 := NewRecorder(s2)
+	r2.RunStart(map[string]any{"budget": 1})
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatalf("appended journal unreadable: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3 (torn tail repaired)", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("seq not monotonic at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+	if events[2].Seq != 3 || events[2].Type != "run-start" {
+		t.Fatalf("resumed event = %+v, want seq 3 run-start", events[2])
+	}
+}
+
+func TestMultiSinkBaseSeq(t *testing.T) {
+	path := t.TempDir() + "/j.jsonl"
+	s, err := CreateJSONLFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewRecorder(s).RunStart(nil)
+	s.Close()
+	app, err := AppendJSONLFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	m := Multi(&MemorySink{}, app)
+	b, ok := m.(SeqBase)
+	if !ok {
+		t.Fatal("multi sink does not expose SeqBase")
+	}
+	if b.BaseSeq() != 1 {
+		t.Fatalf("multi BaseSeq = %d, want 1", b.BaseSeq())
+	}
+}
+
+func TestMetricsServerShutdown(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if _, err := httpGet("http://" + addr + "/metrics"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(nil); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := srv.Shutdown(nil); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if _, err := httpGet("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
 	}
 }

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to a citroend server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8171".
+	BaseURL string
+	// HTTP overrides the transport; nil uses a client without timeouts
+	// (event streams are long-lived).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+// decodeOrError maps non-2xx responses onto the server's error body.
+func decodeOrError(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e errorBody
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: HTTP %d", resp.StatusCode)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Submit enqueues a tuning job.
+func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Post(c.BaseURL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	return st, decodeOrError(resp, &st)
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id string) (JobStatus, error) {
+	resp, err := c.http().Get(c.BaseURL + "/v1/jobs/" + id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	return st, decodeOrError(resp, &st)
+}
+
+// Jobs lists every job.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	resp, err := c.http().Get(c.BaseURL + "/v1/jobs")
+	if err != nil {
+		return nil, err
+	}
+	var out []JobStatus
+	return out, decodeOrError(resp, &out)
+}
+
+// Result fetches a completed job's summary.
+func (c *Client) Result(id string) (JobResult, error) {
+	resp, err := c.http().Get(c.BaseURL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return JobResult{}, err
+	}
+	var res JobResult
+	return res, decodeOrError(resp, &res)
+}
+
+// Cancel stops a job and returns its post-cancellation status.
+func (c *Client) Cancel(id string) (JobStatus, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	return st, decodeOrError(resp, &st)
+}
+
+// Events copies the job's JSONL event journal to w. With follow true the
+// stream tails the run live until the job finishes.
+func (c *Client) Events(ctx context.Context, id string, follow bool, w io.Writer) error {
+	url := c.BaseURL + "/v1/jobs/" + id + "/events"
+	if !follow {
+		url += "?follow=0"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeOrError(resp, nil)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

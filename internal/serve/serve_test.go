@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// tinySpec is a fast-but-real tuning job: a single-module benchmark with a
+// small budget.
+func tinySpec(budget int) JobSpec {
+	return JobSpec{Bench: "automotive_bitcount", Budget: budget, Workers: 1, CheckpointEvery: 2}
+}
+
+func newTestServer(t *testing.T, dir string) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	s, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, &Client{BaseURL: ts.URL}
+}
+
+func waitState(t *testing.T, c *Client, id string, want State, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.terminal() {
+			t.Fatalf("job %s reached %s (err %q) while waiting for %s", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s waiting for %s", id, st.State, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestJobLifecycleEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	s, _, c := newTestServer(t, dir)
+	defer s.Drain(context.Background())
+
+	st, err := c.Submit(tinySpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued {
+		t.Fatalf("state = %s, want queued", st.State)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	final, err := c.Wait(ctx, st.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("state = %s (err %q), want done", final.State, final.Error)
+	}
+	if final.BestSpeedup <= 0 || final.Measurements == 0 {
+		t.Fatalf("status not populated: %+v", final)
+	}
+
+	res, err := c.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestSpeedup <= 0 || res.Measurements != 4 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// The event stream must replay the whole journal, ending in run-end.
+	var buf bytes.Buffer
+	if err := c.Events(ctx, st.ID, true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty event stream")
+	}
+	if !strings.Contains(buf.String(), `"run-end"`) {
+		t.Fatal("event stream is missing run-end")
+	}
+	if !strings.Contains(buf.String(), `"checkpoint"`) {
+		t.Fatal("event stream is missing checkpoint events")
+	}
+
+	// Listing knows the job; unknown ids 404.
+	jobs, err := c.Jobs()
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs = %v, %v", jobs, err)
+	}
+	if _, err := c.Job("999999"); err == nil {
+		t.Fatal("unknown job must error")
+	}
+}
+
+func TestCancelStopsJobWithinTwoSeconds(t *testing.T) {
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	s, ts, c := newTestServer(t, dir)
+
+	// A budget far larger than the cancel point, so the run would otherwise
+	// keep going for a long time.
+	st, err := c.Submit(tinySpec(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, st.ID, StateRunning, time.Minute)
+	// Let it take at least one measurement so cancellation hits mid-search.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		cur, err := c.Job(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Measurements >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never measured")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	t0 := time.Now()
+	got, err := c.Cancel(st.ID)
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > cancelWait+time.Second {
+		t.Fatalf("cancel took %v, want < %v", elapsed, cancelWait)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("state after cancel = %s, want cancelled", got.State)
+	}
+
+	// All goroutines must wind down: drain the server, close the listener,
+	// and wait for the count to come back to the baseline.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	dir := t.TempDir()
+	s, _, c := newTestServer(t, dir)
+	defer s.Drain(context.Background())
+
+	// One runner: the first job occupies it, the second stays queued.
+	first, err := c.Submit(tinySpec(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Submit(tinySpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Cancel(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("queued cancel: state = %s", got.State)
+	}
+	if _, err := c.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartResumesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1, c1 := newTestServer(t, dir)
+
+	st, err := c1.Submit(tinySpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c1, st.ID, StateRunning, time.Minute)
+
+	// Wait for at least one durable checkpoint before pulling the plug.
+	ckptPath := filepath.Join(dir, st.ID, checkpointFile)
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if _, err := os.Stat(ckptPath); err == nil {
+			cur, err := c1.Job(st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cur.Measurements >= 2 && cur.Measurements < 10 {
+				break
+			}
+			if cur.State.terminal() {
+				t.Fatalf("job finished before it could be interrupted: %+v", cur)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	after, err := s1.Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.State != StateInterrupted {
+		t.Fatalf("state after drain = %s, want interrupted", after.State)
+	}
+
+	ck := &core.Checkpoint{}
+	if err := readJSON(ckptPath, ck); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Measurements == 0 || ck.BestSpeedup <= 0 {
+		t.Fatalf("checkpoint not populated: %+v", ck)
+	}
+
+	// Mimic a SIGKILL rather than a clean drain: the persisted state still
+	// says "running" and the journal has a torn trailing line from a write
+	// that never finished.
+	stPath := filepath.Join(dir, st.ID, stateFile)
+	var persisted JobStatus
+	if err := readJSON(stPath, &persisted); err != nil {
+		t.Fatal(err)
+	}
+	persisted.State = StateRunning
+	if err := writeJSONAtomic(stPath, &persisted); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.OpenFile(filepath.Join(dir, st.ID, journalFile), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.WriteString(`{"seq":999999,"type":"mea`); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	// Restart on the same directory: recovery re-queues the job and the run
+	// resumes from the checkpoint.
+	s2, _, c2 := newTestServer(t, dir)
+	defer s2.Drain(context.Background())
+
+	ctx, cancel2 := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel2()
+	final, err := c2.Wait(ctx, st.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("resumed job state = %s (err %q)", final.State, final.Error)
+	}
+	if final.Resumes == 0 {
+		t.Fatalf("resume not counted: %+v", final)
+	}
+	// The incumbent can only improve across a resume.
+	if final.BestSpeedup < ck.BestSpeedup-1e-9 {
+		t.Fatalf("resumed best %v < checkpointed best %v", final.BestSpeedup, ck.BestSpeedup)
+	}
+	res, err := c2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replayed observations consume prior budget: the resumed run finishes
+	// the original 10, not 10 more.
+	if ck.Measurements+res.Measurements != 10 {
+		t.Fatalf("budget accounting: checkpoint %d + resumed %d != 10", ck.Measurements, res.Measurements)
+	}
+
+	// The journal must be one valid JSONL stream across both processes:
+	// strictly increasing seq, the torn line repaired away, both run-starts
+	// and a resume event present.
+	b, err := os.ReadFile(filepath.Join(dir, st.ID, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeq int64
+	runStarts, resumes := 0, 0
+	for i, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		var e struct {
+			Seq  int64  `json:"seq"`
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON (torn tail survived?): %q", i+1, line)
+		}
+		if e.Seq <= lastSeq {
+			t.Fatalf("seq not monotonic at line %d: %d after %d", i+1, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		switch e.Type {
+		case "run-start":
+			runStarts++
+		case "resume":
+			resumes++
+		}
+	}
+	if runStarts != 2 || resumes != 1 {
+		t.Fatalf("journal has %d run-starts and %d resumes, want 2 and 1", runStarts, resumes)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	dir := t.TempDir()
+	s, _, c := newTestServer(t, dir)
+	defer s.Drain(context.Background())
+
+	if _, err := c.Submit(JobSpec{}); err == nil {
+		t.Fatal("empty spec must be rejected")
+	}
+	if _, err := c.Submit(JobSpec{Bench: "no_such_bench"}); err == nil {
+		t.Fatal("unknown bench must be rejected")
+	}
+	if _, err := c.Submit(JobSpec{Bench: "telecom_gsm", Platform: "riscv"}); err == nil {
+		t.Fatal("unknown platform must be rejected")
+	}
+}
+
+func TestDrainRejectsNewSubmissions(t *testing.T) {
+	dir := t.TempDir()
+	s, _, c := newTestServer(t, dir)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(tinySpec(2)); err == nil {
+		t.Fatal("submit after drain must fail")
+	}
+}

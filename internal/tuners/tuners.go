@@ -5,6 +5,7 @@
 package tuners
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -64,7 +65,7 @@ func (h *harness) measure(mod string, seq []string) (float64, bool) {
 		seqs[m] = s
 	}
 	seqs[mod] = seq
-	t, err := h.task.Measure(seqs)
+	t, err := h.task.Measure(context.Background(), seqs)
 	h.used++
 	y := 10.0 // differential-test failure penalty
 	if err == nil {

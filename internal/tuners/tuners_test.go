@@ -1,6 +1,7 @@
 package tuners
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -79,7 +80,7 @@ func (c *costTask) cost(seq []string) (float64, error) {
 }
 
 func (c *costTask) Modules() []string { return []string{"mod"} }
-func (c *costTask) CompileModule(mod string, seq []string) (*ir.Module, passes.Stats, error) {
+func (c *costTask) CompileModule(_ context.Context, mod string, seq []string) (*ir.Module, passes.Stats, error) {
 	m := c.build()
 	st := passes.Stats{}
 	var err error
@@ -90,7 +91,9 @@ func (c *costTask) CompileModule(mod string, seq []string) (*ir.Module, passes.S
 	}
 	return m, st, err
 }
-func (c *costTask) Measure(seqs map[string][]string) (float64, error) { return c.cost(seqs["mod"]) }
+func (c *costTask) Measure(_ context.Context, seqs map[string][]string) (float64, error) {
+	return c.cost(seqs["mod"])
+}
 func (c *costTask) BaselineTime() float64                             { return c.base }
 func (c *costTask) HotModules(float64) ([]string, error)              { return []string{"mod"}, nil }
 
