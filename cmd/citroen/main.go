@@ -167,6 +167,9 @@ func main() {
 		res.Breakdown.Measures, res.SavedMeasurements, res.Breakdown.Compiles)
 	fmt.Printf("Compile cache: %d hits / %d misses (pipeline runs saved by incumbent reuse)\n",
 		res.Breakdown.CacheHits, res.Breakdown.CacheMisses)
+	fmt.Printf("Prefix cache: %d passes saved / %d replayed (%d snapshot bytes, %d evictions)\n",
+		res.Breakdown.PrefixSavedPasses, res.Breakdown.PrefixReplayedPasses,
+		res.Breakdown.PrefixSnapshotBytes, res.Breakdown.PrefixEvictions)
 	fmt.Printf("Per-module budget: %v\n", res.ModuleBudget)
 	for mod, seq := range res.BestSeqs {
 		fmt.Printf("\nBest sequence for %s (%d passes):\n  %s\n", mod, len(seq), strings.Join(seq, ","))

@@ -9,7 +9,6 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"sync"
 	"time"
 
@@ -238,11 +237,11 @@ type Platform struct {
 func ARM() Platform { return Platform{Prof: machine.CortexA57(), NoiseStd: 0.006} }
 func X86() Platform { return Platform{Prof: machine.Zen3(), NoiseStd: 0.004} }
 
-// DefaultCacheCap is the default compiled-module cache capacity (entries).
-// Incumbent sequences repeat on every measurement, so even a small LRU keeps
-// the hot set resident; the cap bounds memory on long tuning runs where most
-// candidate sequences are seen once.
-const DefaultCacheCap = 512
+// DefaultCacheCap is the default snapshot-cache capacity (entries). A single
+// build now retains one snapshot per stride boundary rather than one entry
+// total, so the entry cap is a generous backstop — SnapshotBudget (bytes) is
+// the bound that matters for memory on long tuning runs.
+const DefaultCacheCap = 4096
 
 // Evaluator compiles benchmark modules under pass sequences and measures the
 // result, implementing the compile→stats→profile→differential-test cycle.
@@ -255,23 +254,42 @@ type Evaluator struct {
 	Plat     Platform
 	Datasets int
 	Runs     int // timing repetitions per measurement
-	// CacheCap bounds the compiled-module cache: 0 means DefaultCacheCap,
-	// negative disables memoisation entirely (every compile re-runs the
-	// pipeline, the pre-cache behaviour).
+	// CacheCap bounds the snapshot cache's entry count: 0 means
+	// DefaultCacheCap, negative disables memoisation entirely (every compile
+	// re-runs the full pipeline, the pre-cache behaviour).
 	CacheCap int
-	meas     *machine.Measurement
-	pristine [][]*ir.Module // per dataset
-	refOut   [][]machine.OutputEvent
-	o3Time   float64
-	o3Stats  passes.Stats
+	// SnapshotEvery is the prefix-snapshot stride in passes: intermediate
+	// module states are retained every SnapshotEvery passes so later
+	// candidates resume from their longest cached prefix. 0 means
+	// DefaultSnapshotEvery; negative keeps only final states (the old
+	// exact-sequence cache, useful as a benchmarking baseline).
+	SnapshotEvery int
+	// SnapshotBudget bounds the estimated bytes held by snapshots
+	// (Module.ApproxBytes). 0 means DefaultSnapshotBudget; negative is
+	// unbounded (entry cap still applies).
+	SnapshotBudget int64
+	meas           *machine.Measurement
+	pristine       [][]*ir.Module // per dataset
+	refOut         [][]machine.OutputEvent
+	o3Time         float64
+	o3Stats        passes.Stats
 
-	// Compiled-module memo cache: (dataset, module, seq hash) → post-pipeline
-	// clone + stats. Guarded by mu together with all counters below.
+	// Prefix-snapshot cache (see prefixcache.go): (dataset, module, prefix
+	// hash, depth) → immutable module state + stats. Guarded by mu together
+	// with flights and all counters below.
 	mu        sync.Mutex
-	cache     map[seqKey]*list.Element
-	lru       *list.List // front = most recently used *cacheEntry
+	snaps     map[snapKey]*list.Element
+	lru       *list.List // front = most recently used *snapEntry
+	flights   map[seqKey]*flight
 	cacheHits int
 	cacheMiss int
+
+	// Prefix accounting: passes skipped by resuming from snapshots vs passes
+	// actually executed, current snapshot bytes, snapshots evicted.
+	prefixSaved    int
+	prefixReplayed int
+	snapBytes      int64
+	snapEvict      int
 
 	// Counters for Fig 5.12-style accounting. Compilations counts actual
 	// pass-pipeline executions (cache hits do not re-run pipelines).
@@ -281,50 +299,35 @@ type Evaluator struct {
 	// Optional observability (SetObs); all nil until enabled. prof collects
 	// per-pass wall time and stats deltas, the counters mirror the ints above
 	// into the metrics registry.
-	prof    *passes.Profile
-	obsHits *obs.Counter
-	obsMiss *obs.Counter
-	obsComp *obs.Counter
-	obsMeas *obs.Counter
+	prof         *passes.Profile
+	obsHits      *obs.Counter
+	obsMiss      *obs.Counter
+	obsComp      *obs.Counter
+	obsMeas      *obs.Counter
+	obsSaved     *obs.Counter
+	obsReplayed  *obs.Counter
+	obsEvict     *obs.Counter
+	obsSnapBytes *obs.Gauge
+	obsAnalHits  *obs.Gauge
+	obsAnalMiss  *obs.Gauge
 }
 
-// seqKey identifies one compiled module build.
+// seqKey identifies one full (dataset, module, sequence) build; used to
+// deduplicate concurrent in-flight compilations.
 type seqKey struct {
 	dataset int
 	module  string
 	hash    uint64
 }
 
-// cacheEntry is an LRU node. mod is never mutated after insertion; readers
-// take clones.
-type cacheEntry struct {
-	key   seqKey
-	mod   *ir.Module
-	stats passes.Stats
-}
-
-// seqHash fingerprints a pass sequence with FNV-1a. nil (the -O3 pipeline)
-// hashes differently from an explicit empty sequence.
-func seqHash(seq []string) uint64 {
-	h := fnv.New64a()
-	if seq == nil {
-		io.WriteString(h, "\x00O3")
-		return h.Sum64()
-	}
-	for _, p := range seq {
-		io.WriteString(h, p)
-		h.Write([]byte{1})
-	}
-	return h.Sum64()
-}
-
 // NewEvaluator builds the evaluator and its -O3 baseline.
 func NewEvaluator(b *Benchmark, plat Platform, seed int64) (*Evaluator, error) {
 	ev := &Evaluator{
 		Bench: b, Plat: plat, Datasets: 2, Runs: 3,
-		meas:  machine.NewMeasurement(machine.New(plat.Prof), plat.NoiseStd, seed),
-		cache: map[seqKey]*list.Element{},
-		lru:   list.New(),
+		meas:    machine.NewMeasurement(machine.New(plat.Prof), plat.NoiseStd, seed),
+		snaps:   map[snapKey]*list.Element{},
+		lru:     list.New(),
+		flights: map[seqKey]*flight{},
 	}
 	for ds := 0; ds < ev.Datasets; ds++ {
 		mods := b.Build(ds, plat.Prof.VecWidth64)
@@ -352,11 +355,14 @@ func NewEvaluator(b *Benchmark, plat Platform, seed int64) (*Evaluator, error) {
 	}
 	ev.o3Time, ev.o3Stats = t, st
 	// The baseline build is setup, not search work: reset the accounting so
-	// counters reflect what the tuner spends. The O3-compiled modules stay in
-	// the cache — every later measurement reuses them for unchanged modules.
+	// counters reflect what the tuner spends. The O3-compiled modules (and
+	// their prefix snapshots) stay in the cache — every later measurement
+	// reuses them for unchanged modules, and candidates that extend or mutate
+	// the O3 pipeline resume from its snapshots.
 	ev.Compilations, ev.Measurements = 0, 0
 	ev.mu.Lock()
 	ev.cacheHits, ev.cacheMiss = 0, 0
+	ev.prefixSaved, ev.prefixReplayed, ev.snapEvict = 0, 0, 0
 	ev.mu.Unlock()
 	return ev, nil
 }
@@ -412,6 +418,12 @@ func (ev *Evaluator) SetObs(m *obs.Metrics, prof *passes.Profile) {
 	ev.obsMiss = m.Counter("bench_cache_misses_total")
 	ev.obsComp = m.Counter("bench_compilations_total")
 	ev.obsMeas = m.Counter("bench_measurements_total")
+	ev.obsSaved = m.Counter("bench_prefix_saved_passes_total")
+	ev.obsReplayed = m.Counter("bench_prefix_replayed_passes_total")
+	ev.obsEvict = m.Counter("bench_prefix_evictions_total")
+	ev.obsSnapBytes = m.Gauge("bench_prefix_snapshot_bytes")
+	ev.obsAnalHits = m.Gauge("ir_analysis_cache_hits")
+	ev.obsAnalMiss = m.Gauge("ir_analysis_cache_misses")
 	h := m.Histogram("machine_run_cycles", obs.CyclesBuckets)
 	ev.meas.OnSample = func(cycles float64, _ time.Duration) { h.Observe(cycles) }
 }
@@ -423,103 +435,6 @@ func (ev *Evaluator) PassProfile() []passes.PassCost {
 		return nil
 	}
 	return ev.prof.Costs()
-}
-
-// compiledFor returns the named module of the given dataset compiled under
-// seq (nil = O3), memoised on (dataset, module, seq). The returned module is
-// a private clone the caller may link and mutate; the returned stats are a
-// private copy. The pipeline only actually runs on a cache miss, which is
-// what makes repeated measurements of unchanged incumbents cheap.
-func (ev *Evaluator) compiledFor(ctx context.Context, ds int, name string, seq []string) (*ir.Module, passes.Stats, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-	var pristine *ir.Module
-	for _, m := range ev.pristine[ds] {
-		if m.Name == name {
-			pristine = m
-			break
-		}
-	}
-	if pristine == nil {
-		return nil, nil, fmt.Errorf("bench: unknown module %q", name)
-	}
-
-	capacity := ev.CacheCap
-	if capacity == 0 {
-		capacity = DefaultCacheCap
-	}
-	key := seqKey{dataset: ds, module: name, hash: seqHash(seq)}
-	if capacity > 0 {
-		ev.mu.Lock()
-		if e, ok := ev.cache[key]; ok {
-			ev.lru.MoveToFront(e)
-			ev.cacheHits++
-			ce := e.Value.(*cacheEntry)
-			ev.mu.Unlock()
-			if ev.obsHits != nil {
-				ev.obsHits.Inc()
-			}
-			// The cached instance is immutable; hand out a clone (Link
-			// renumbers values in place) and a stats copy.
-			return ce.mod.Clone(), copyStats(ce.stats), nil
-		}
-		ev.cacheMiss++
-		ev.Compilations++
-		ev.mu.Unlock()
-		if ev.obsMiss != nil {
-			ev.obsMiss.Inc()
-			ev.obsComp.Inc()
-		}
-	} else {
-		ev.mu.Lock()
-		ev.Compilations++
-		ev.mu.Unlock()
-		if ev.obsComp != nil {
-			ev.obsComp.Inc()
-		}
-	}
-
-	// Compile outside the lock so concurrent candidate builds overlap. Two
-	// goroutines racing on the same key at worst compile twice; the cache
-	// stays consistent because entries are immutable.
-	c := pristine.Clone()
-	st := passes.Stats{}
-	var o passes.Observer
-	if ev.prof != nil {
-		o = ev.prof
-	}
-	var err error
-	if seq == nil {
-		err = passes.ApplyLevelObserved(c, "O3", st, o)
-	} else {
-		err = passes.ApplyObserved(c, seq, st, false, o)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	if capacity > 0 {
-		ev.mu.Lock()
-		if _, ok := ev.cache[key]; !ok {
-			ev.cache[key] = ev.lru.PushFront(&cacheEntry{key: key, mod: c, stats: st})
-			for ev.lru.Len() > capacity {
-				old := ev.lru.Back()
-				ev.lru.Remove(old)
-				delete(ev.cache, old.Value.(*cacheEntry).key)
-			}
-		}
-		ev.mu.Unlock()
-		return c.Clone(), copyStats(st), nil
-	}
-	return c, st, nil
-}
-
-func copyStats(st passes.Stats) passes.Stats {
-	out := make(passes.Stats, len(st))
-	for k, v := range st {
-		out[k] = v
-	}
-	return out
 }
 
 // timeWithSequences builds every dataset with the per-module sequences

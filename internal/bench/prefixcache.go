@@ -1,0 +1,483 @@
+package bench
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// The compiled-module cache is a prefix-snapshot cache: instead of memoising
+// only complete builds keyed by the exact sequence, it memoises intermediate
+// module states at stride boundaries along every compiled sequence. A new
+// candidate resumes compilation from the deepest cached prefix of its
+// sequence — BO/GA candidates are mutations of incumbents, so long shared
+// prefixes are the common case (§3.3/§5.2) and most of the pipeline replay
+// disappears.
+//
+// Key scheme: (dataset, module, FNV-1a over the first depth pass names,
+// depth). nil sequences are normalised to the O3 pipeline's names first, so
+// -O3 and an explicitly spelled O3 sequence share snapshots. Snapshots are
+// immutable: readers clone under no lock, eviction merely unlinks (the GC
+// keeps a snapshot alive while any in-flight build still resumes from it).
+// Eviction is LRU, bounded both by entry count (CacheCap) and by an
+// approximate byte budget (SnapshotBudget, measured with Module.ApproxBytes);
+// consecutive snapshots with equal structural fingerprints share one module
+// instance, so runs of no-op passes cost no extra memory.
+
+// DefaultSnapshotEvery is the snapshot stride: an intermediate module state
+// is retained after every stride-th pass (plus always the final state).
+// Smaller strides resume closer to the divergence point but clone more.
+const DefaultSnapshotEvery = 6
+
+// DefaultSnapshotBudget bounds the estimated bytes retained by snapshots.
+const DefaultSnapshotBudget int64 = 64 << 20
+
+// snapKey identifies one intermediate compilation state: the named module of
+// a dataset after the first depth passes of a sequence (hash covers exactly
+// those names).
+type snapKey struct {
+	dataset int
+	module  string
+	hash    uint64
+	depth   int
+}
+
+// snapEntry is an LRU-tracked snapshot. mod and stats are immutable after
+// insertion; readers clone them outside the evaluator lock.
+//
+// Interior snapshots are published unverified: resuming from one is correct
+// regardless (replay is deterministic from any state, and every build ends
+// with its own final verification), so verification is deferred to the one
+// case that needs it — the snapshot being served as an exact full-sequence
+// hit, where a fresh build would have verified the final state.
+type snapEntry struct {
+	key      snapKey
+	mod      *ir.Module
+	stats    passes.Stats
+	fp       uint64 // structural fingerprint of mod, when fpOK (computed opportunistically for dedup)
+	fpOK     bool
+	bytes    int64 // attributed budget bytes (conservative: shared mods count each time)
+	elem     *list.Element
+	verified bool  // final verification ran (eagerly for final states, lazily for interior)
+	verr     error // result of that verification
+}
+
+// flight is one in-progress compilation of a full (dataset, module, sequence)
+// build. Concurrent requests for the same build wait on done instead of
+// compiling a duplicate; mod/stats/err are set before done is closed.
+type flight struct {
+	done  chan struct{}
+	mod   *ir.Module // immutable final state (nil on error)
+	stats passes.Stats
+	err   error
+}
+
+// seqNames normalises a candidate sequence: nil (the -O3 build) becomes the
+// O3 pipeline's pass names so it shares prefix snapshots with explicit
+// sequences.
+func seqNames(seq []string) []string {
+	if seq == nil {
+		return passes.O3Sequence()
+	}
+	return seq
+}
+
+// prefixHashes returns h[d] = FNV-1a over names[:d] for every d in [0, len].
+func prefixHashes(names []string) []uint64 {
+	h := fnv.New64a()
+	out := make([]uint64, len(names)+1)
+	out[0] = h.Sum64()
+	for i, p := range names {
+		io.WriteString(h, p)
+		h.Write([]byte{1})
+		out[i+1] = h.Sum64()
+	}
+	return out
+}
+
+// snapshotDepths reports whether a snapshot is retained after depth passes of
+// an L-pass sequence under the given stride.
+func snapshotAt(depth, total, stride int) bool {
+	if depth == total {
+		return true // the final state is always retained (exact-hit entry)
+	}
+	return stride > 0 && depth%stride == 0
+}
+
+// resolveSequence maps pass names to passes, mirroring Apply's unknown-pass
+// error.
+func resolveSequence(names []string) ([]*passes.Pass, error) {
+	plist := make([]*passes.Pass, len(names))
+	for i, n := range names {
+		p := passes.Lookup(n)
+		if p == nil {
+			return nil, fmt.Errorf("passes: unknown pass %q", n)
+		}
+		plist[i] = p
+	}
+	return plist, nil
+}
+
+// pendingSnap is a snapshot taken during a build, published under the
+// evaluator lock once the build finishes.
+type pendingSnap struct {
+	depth    int
+	mod      *ir.Module
+	stats    passes.Stats
+	fp       uint64
+	fpOK     bool
+	bytes    int64
+	verified bool
+}
+
+// statsSum totals all counters — a cheap change pre-filter: a span of passes
+// that bumped no counter is almost certainly a no-op span worth the price of
+// a fingerprint comparison (which then proves or refutes equality).
+func statsSum(st passes.Stats) int {
+	s := 0
+	for _, v := range st {
+		s += v
+	}
+	return s
+}
+
+// runSuffix applies plist[from:] to c (which already reflects plist[:from]),
+// collecting snapshots at stride boundaries, and verifies the final state
+// once — exactly the verification policy of a full ApplyObserved(...,
+// verifyEach=false) build. baseFp is c's structural fingerprint before the
+// first suffix pass when known (haveFp); it seeds snapshot deduplication.
+func (ev *Evaluator) runSuffix(c *ir.Module, plist []*passes.Pass, st passes.Stats, from int, baseMod *ir.Module, baseFp uint64, haveFp bool) ([]pendingSnap, error) {
+	mgr := passes.NewManager()
+	if ev.prof != nil {
+		mgr.Obs = ev.prof
+	}
+	defer mgr.Release(c)
+	stride := ev.SnapshotEvery
+	if stride == 0 {
+		stride = DefaultSnapshotEvery
+	}
+	var snaps []pendingSnap
+	prevMod, prevFp, prevOK := baseMod, baseFp, haveFp
+	prevBytes := int64(0)
+	prevSum := statsSum(st)
+	total := len(plist)
+	for i := from; i < total; i++ {
+		mgr.RunOne(c, plist[i], st)
+		depth := i + 1
+		if !snapshotAt(depth, total, stride) {
+			continue
+		}
+		// Dedup check: a span that bumped no stats counter is almost always a
+		// no-op; prove it with a fingerprint comparison and share the module
+		// instance instead of cloning a duplicate. Spans that did change
+		// stats skip the (module-sized) fingerprint walk and clone directly.
+		curSum := statsSum(st)
+		var snap *ir.Module
+		var fp uint64
+		var fpOK bool
+		var bytes int64
+		if prevMod != nil && curSum == prevSum {
+			if !prevOK {
+				prevFp, prevOK = prevMod.Fingerprint(), true
+			}
+			fp, fpOK = c.Fingerprint(), true
+			if fp == prevFp {
+				snap, bytes = prevMod, prevBytes
+			}
+		}
+		if snap == nil {
+			snap = c.Clone()
+			bytes = snap.ApproxBytes()
+		}
+		snaps = append(snaps, pendingSnap{depth: depth, mod: snap, stats: st.Clone(), fp: fp, fpOK: fpOK, bytes: bytes, verified: depth == total})
+		prevMod, prevFp, prevOK, prevBytes, prevSum = snap, fp, fpOK, bytes, curSum
+	}
+	if err := ir.Verify(c); err != nil {
+		// Drop the final-state snapshot: an exact hit must never turn a
+		// failing build into a success. Interior snapshots stay — resuming
+		// from them replays exactly what a fresh build would compute, and an
+		// exact hit on one verifies lazily.
+		if n := len(snaps); n > 0 && snaps[n-1].depth == total {
+			snaps = snaps[:n-1]
+		}
+		return snaps, fmt.Errorf("passes: IR invalid after sequence: %w", err)
+	}
+	return snaps, nil
+}
+
+// deepestPrefixLocked returns the deepest cached snapshot whose depth is a
+// snapshot boundary prefix of the sequence (hashes[d] covers names[:d]).
+// Caller holds ev.mu.
+func (ev *Evaluator) deepestPrefixLocked(ds int, module string, hashes []uint64, total, stride int) *snapEntry {
+	for d := total; d > 0; d-- {
+		if !snapshotAt(d, total, stride) && d != total {
+			continue
+		}
+		if e, ok := ev.snaps[snapKey{dataset: ds, module: module, hash: hashes[d], depth: d}]; ok {
+			ev.lru.MoveToFront(e)
+			return e.Value.(*snapEntry)
+		}
+	}
+	return nil
+}
+
+// insertSnapLocked publishes a snapshot and evicts past the entry cap and
+// byte budget. Caller holds ev.mu.
+func (ev *Evaluator) insertSnapLocked(key snapKey, ps pendingSnap) {
+	if _, ok := ev.snaps[key]; ok {
+		return // a concurrent build of an overlapping sequence won the race
+	}
+	se := &snapEntry{key: key, mod: ps.mod, stats: ps.stats, fp: ps.fp, fpOK: ps.fpOK, bytes: ps.bytes, verified: ps.verified}
+	se.elem = ev.lru.PushFront(se)
+	ev.snaps[key] = se.elem
+	ev.snapBytes += se.bytes
+	capacity := ev.CacheCap
+	if capacity == 0 {
+		capacity = DefaultCacheCap
+	}
+	budget := ev.SnapshotBudget
+	if budget == 0 {
+		budget = DefaultSnapshotBudget
+	}
+	for ev.lru.Len() > capacity || (budget > 0 && ev.snapBytes > budget && ev.lru.Len() > 1) {
+		back := ev.lru.Back()
+		if back == nil {
+			break
+		}
+		old := back.Value.(*snapEntry)
+		ev.lru.Remove(back)
+		delete(ev.snaps, old.key)
+		ev.snapBytes -= old.bytes
+		ev.snapEvict++
+		if ev.obsEvict != nil {
+			ev.obsEvict.Inc()
+		}
+	}
+	if ev.obsSnapBytes != nil {
+		ev.obsSnapBytes.Set(float64(ev.snapBytes))
+	}
+}
+
+// compiledFor returns the named module of the given dataset compiled under
+// seq (nil = O3). The returned module is a private clone the caller may link
+// and mutate; the returned stats are a private copy. Builds resume from the
+// deepest cached prefix snapshot; an exact final-state hit skips compilation
+// entirely, and concurrent requests for the same build are deduplicated so
+// only one pipeline runs (the others wait and clone its result).
+func (ev *Evaluator) compiledFor(ctx context.Context, ds int, name string, seq []string) (*ir.Module, passes.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	var pristine *ir.Module
+	for _, m := range ev.pristine[ds] {
+		if m.Name == name {
+			pristine = m
+			break
+		}
+	}
+	if pristine == nil {
+		return nil, nil, fmt.Errorf("bench: unknown module %q", name)
+	}
+	names := seqNames(seq)
+	plist, err := resolveSequence(names)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if ev.CacheCap < 0 {
+		// Memoisation disabled entirely (the pre-cache behaviour): compile
+		// from pristine, retain nothing.
+		ev.mu.Lock()
+		ev.Compilations++
+		ev.prefixReplayed += len(names)
+		ev.mu.Unlock()
+		if ev.obsComp != nil {
+			ev.obsComp.Inc()
+			ev.obsReplayed.Add(int64(len(names)))
+		}
+		c := pristine.Clone()
+		st := passes.Stats{}
+		mgr := passes.NewManager()
+		if ev.prof != nil {
+			mgr.Obs = ev.prof
+		}
+		if err := mgr.Run(c, names, st, false); err != nil {
+			return nil, nil, err
+		}
+		ev.updateAnalysisGauges()
+		return c, st, nil
+	}
+
+	stride := ev.SnapshotEvery
+	if stride == 0 {
+		stride = DefaultSnapshotEvery
+	}
+	hashes := prefixHashes(names)
+	total := len(names)
+	fullKey := snapKey{dataset: ds, module: name, hash: hashes[total], depth: total}
+	flKey := seqKey{dataset: ds, module: name, hash: hashes[total]}
+
+	for {
+		ev.mu.Lock()
+		if e, ok := ev.snaps[fullKey]; ok {
+			ev.lru.MoveToFront(e)
+			se := e.Value.(*snapEntry)
+			ev.cacheHits++
+			mod, st := se.mod, se.stats
+			verified, verr := se.verified, se.verr
+			ev.mu.Unlock()
+			if ev.obsHits != nil {
+				ev.obsHits.Inc()
+			}
+			if !verified {
+				// An interior snapshot served as a full build: run the final
+				// verification a fresh build of this exact sequence would
+				// have run, once. Concurrent verifiers of the same immutable
+				// module reach the same answer, so the race is benign.
+				verr = ir.Verify(mod)
+				ev.mu.Lock()
+				se.verified, se.verr = true, verr
+				ev.mu.Unlock()
+			}
+			if verr != nil {
+				return nil, nil, fmt.Errorf("passes: IR invalid after sequence: %w", verr)
+			}
+			// The cached instance is immutable; hand out a clone (Link
+			// renumbers values in place) and a stats copy.
+			return mod.Clone(), st.Clone(), nil
+		}
+		if fl, inFlight := ev.flights[flKey]; inFlight {
+			ev.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+			if fl.err == nil {
+				ev.mu.Lock()
+				ev.cacheHits++
+				ev.mu.Unlock()
+				if ev.obsHits != nil {
+					ev.obsHits.Inc()
+				}
+				return fl.mod.Clone(), fl.stats.Clone(), nil
+			}
+			if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+				// The leader's run was cancelled, not necessarily ours.
+				if err := ctx.Err(); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+			return nil, nil, fl.err // deterministic compile failure: shared
+		}
+		// Lead: register the flight, then resume from the deepest prefix.
+		fl := &flight{done: make(chan struct{})}
+		ev.flights[flKey] = fl
+		base := ev.deepestPrefixLocked(ds, name, hashes, total, stride)
+		var baseMod *ir.Module
+		var baseSt passes.Stats
+		var baseFp uint64
+		baseFpOK := false
+		depth := 0
+		if base != nil {
+			baseMod, baseSt, baseFp, baseFpOK, depth = base.mod, base.stats, base.fp, base.fpOK, base.key.depth
+		}
+		ev.cacheMiss++
+		ev.Compilations++
+		ev.prefixSaved += depth
+		ev.prefixReplayed += total - depth
+		ev.mu.Unlock()
+		if ev.obsMiss != nil {
+			ev.obsMiss.Inc()
+			ev.obsComp.Inc()
+			ev.obsSaved.Add(int64(depth))
+			ev.obsReplayed.Add(int64(total - depth))
+		}
+
+		mod, st, err := ev.leadCompile(fl, flKey, fullKey, pristine, plist, hashes, baseMod, baseSt, baseFp, baseFpOK, depth)
+		ev.updateAnalysisGauges()
+		return mod, st, err
+	}
+}
+
+// leadCompile runs the pipeline suffix for a registered flight and publishes
+// the resulting snapshots. It always completes the flight, even on a panic in
+// a pass, so waiting followers never wedge.
+func (ev *Evaluator) leadCompile(fl *flight, flKey seqKey, fullKey snapKey, pristine *ir.Module, plist []*passes.Pass, hashes []uint64, baseMod *ir.Module, baseSt passes.Stats, baseFp uint64, baseFpOK bool, depth int) (*ir.Module, passes.Stats, error) {
+	var (
+		c   *ir.Module
+		st  passes.Stats
+		err error
+	)
+	completed := false
+	defer func() {
+		if !completed { // panic unwinding: fail the flight before re-panicking
+			ev.mu.Lock()
+			delete(ev.flights, flKey)
+			ev.mu.Unlock()
+			fl.err = errors.New("bench: compile panicked")
+			close(fl.done)
+		}
+	}()
+
+	if baseMod != nil {
+		c = baseMod.Clone()
+		st = baseSt.Clone()
+	} else {
+		c = pristine.Clone()
+		st = passes.Stats{}
+	}
+	snaps, err := ev.runSuffix(c, plist, st, depth, baseMod, baseFp, baseFpOK)
+
+	ev.mu.Lock()
+	var final *ir.Module
+	for _, ps := range snaps {
+		ev.insertSnapLocked(snapKey{dataset: fullKey.dataset, module: fullKey.module, hash: hashes[ps.depth], depth: ps.depth}, ps)
+		if ps.depth == len(plist) {
+			final = ps.mod
+		}
+	}
+	delete(ev.flights, flKey)
+	ev.mu.Unlock()
+
+	if err == nil {
+		fl.mod, fl.stats = final, st
+	}
+	fl.err = err
+	completed = true
+	close(fl.done)
+
+	if err != nil {
+		return nil, nil, err
+	}
+	// c is the caller's private instance; the cached snapshot is its clone.
+	return c, st, nil
+}
+
+// updateAnalysisGauges mirrors the process-global analysis-cache counters
+// into the metrics registry (no-op until SetObs attaches gauges).
+func (ev *Evaluator) updateAnalysisGauges() {
+	if ev.obsAnalHits == nil {
+		return
+	}
+	h, m := ir.AnalysisCacheCounters()
+	ev.obsAnalHits.Set(float64(h))
+	ev.obsAnalMiss.Set(float64(m))
+}
+
+// PrefixCounters returns the prefix-snapshot cache's work accounting since
+// the evaluator was built: passes skipped by resuming from snapshots, passes
+// actually executed, the estimated bytes currently retained by snapshots,
+// and the number of evicted snapshots.
+func (ev *Evaluator) PrefixCounters() (savedPasses, replayedPasses int, snapshotBytes int64, evictions int) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.prefixSaved, ev.prefixReplayed, ev.snapBytes, ev.snapEvict
+}

@@ -28,6 +28,7 @@ func (ev *Evaluator) Task() core.Task {
 			return hot, err
 		},
 		CacheFn:       ev.CacheCounters,
+		PrefixFn:      ev.PrefixCounters,
 		PassProfileFn: ev.PassProfile,
 	}
 }

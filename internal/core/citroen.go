@@ -128,11 +128,11 @@ type StatImportance struct {
 
 // RuntimeBreakdown records where wall-clock time went (Fig 5.12).
 type RuntimeBreakdown struct {
-	GPFit   time.Duration
-	AcqMax  time.Duration // candidate generation + compilation + scoring
-	Compile time.Duration // summed per-candidate compile work (can exceed wall time when Workers > 1)
-	Measure time.Duration
-	Total   time.Duration
+	GPFit    time.Duration
+	AcqMax   time.Duration // candidate generation + compilation + scoring
+	Compile  time.Duration // summed per-candidate compile work (can exceed wall time when Workers > 1)
+	Measure  time.Duration
+	Total    time.Duration
 	Measures int
 	Compiles int
 	// CacheHits/CacheMisses count compiled-module cache lookups when the
@@ -140,6 +140,14 @@ type RuntimeBreakdown struct {
 	// executions the incumbent-reuse cache saved.
 	CacheHits   int
 	CacheMisses int
+	// Prefix-snapshot cache accounting when the Task's evaluator resumes
+	// builds from cached sequence prefixes (zero otherwise): passes skipped
+	// by resuming vs actually executed, snapshot memory held at run end, and
+	// snapshots evicted under the entry/byte bounds.
+	PrefixSavedPasses    int
+	PrefixReplayedPasses int
+	PrefixSnapshotBytes  int64
+	PrefixEvictions      int
 }
 
 // Result is the tuning outcome.
@@ -216,22 +224,22 @@ type Tuner struct {
 	// then a single nil check). The metric instruments are resolved once at
 	// construction; RuntimeBreakdown's counts are read back from them at
 	// finalize, making the registry the single source of truth.
-	rec      *obs.Recorder
-	runSpan  int64 // journal span of the whole run
-	curSpan  int64 // parent span for the current phase's events
-	mMeas    *obs.Counter
-	mComp    *obs.Counter
-	mSaved   *obs.Counter
-	mDup     *obs.Counter
+	rec     *obs.Recorder
+	runSpan int64 // journal span of the whole run
+	curSpan int64 // parent span for the current phase's events
+	mMeas   *obs.Counter
+	mComp   *obs.Counter
+	mSaved  *obs.Counter
+	mDup    *obs.Counter
 	// Counter values at construction: a registry shared across several runs
 	// (experiment repeats) keeps global totals, while Breakdown reports
 	// this run's deltas.
 	mMeas0, mComp0 int64
-	gBest    *obs.Gauge
-	hGPFit   *obs.Histogram
-	hAcq     *obs.Histogram
-	hCompile *obs.Histogram
-	hMeasure *obs.Histogram
+	gBest          *obs.Gauge
+	hGPFit         *obs.Histogram
+	hAcq           *obs.Histogram
+	hCompile       *obs.Histogram
+	hMeasure       *obs.Histogram
 }
 
 // NewTuner prepares a tuner.
@@ -677,6 +685,64 @@ type candJob struct {
 	compile time.Duration
 }
 
+// groupByPrefix partitions candidate-job indices so that same-module jobs
+// whose sequences share a long common prefix land in one group, ordered
+// lexicographically (shortest-divergence neighbours adjacent). Groups are
+// what MapGroupsCtx schedules: serial within, parallel across — compiling
+// prefix-siblings back to back turns the evaluator's prefix-snapshot cache
+// misses into resumes.
+//
+// Groups are never size-capped, and that is a determinism requirement, not
+// a simplification: sequences sharing a prefix form a contiguous interval in
+// lexicographic order, so uncapped greedy grouping puts every pair of jobs
+// sharing at least minShared passes into the same (serial) group. Distinct
+// groups then share fewer than minShared passes — below any snapshot stride —
+// so no job's cache outcome can depend on when another group ran, and the
+// evaluator's counters stay identical for every worker count. The serialised
+// work is exactly the work that resuming makes nearly free.
+func groupByPrefix(jobs []candJob, names [][]string) [][]int {
+	const minShared = 4 // below this, resuming saves too little to serialise
+	idx := make([]int, len(jobs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		if jobs[a].ms != jobs[b].ms {
+			return jobs[a].ms.name < jobs[b].ms.name
+		}
+		na, nb := names[a], names[b]
+		for k := 0; k < len(na) && k < len(nb); k++ {
+			if na[k] != nb[k] {
+				return na[k] < nb[k]
+			}
+		}
+		return len(na) < len(nb)
+	})
+	var groups [][]int
+	for _, i := range idx {
+		if n := len(groups); n > 0 {
+			g := groups[n-1]
+			prev := g[len(g)-1]
+			if jobs[prev].ms == jobs[i].ms &&
+				sharedPrefixLen(names[prev], names[i]) >= minShared {
+				groups[n-1] = append(g, i)
+				continue
+			}
+		}
+		groups = append(groups, []int{i})
+	}
+	return groups
+}
+
+func sharedPrefixLen(a, b []string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
 // proposeCandidate generates, compiles and scores candidates for the target
 // modules and returns the acquisition argmax. Candidate compilation — the
 // expensive, embarrassingly parallel part — fans out across the evaluation
@@ -717,19 +783,28 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 	}
 
 	// Phase 2 (parallel): compile and feature-extract all Lambda × |targets|
-	// candidates. Each worker writes only its own submit-order slot. On
-	// cancellation unclaimed jobs stay !ok and are skipped by scoring.
+	// candidates. Jobs are grouped by shared sequence prefix and each group
+	// runs serially on one worker, so the first build of a group publishes
+	// the prefix snapshots its siblings resume from (mutation-heavy
+	// generators emit many candidates differing only near the tail), while
+	// distinct groups still fan out across the pool. Grouping is computed
+	// serially from submit-order data and every worker writes only its own
+	// submit-order slot, so the results stay independent of Options.Workers.
+	// On cancellation unclaimed jobs stay !ok and are skipped by scoring.
 	ctx := t.runCtx()
-	t.pool.MapCtx(ctx, len(jobs), func(i int) {
+	names := make([][]string, len(jobs))
+	for i := range jobs {
+		names[i] = t.seqStrings(jobs[i].seq)
+	}
+	t.pool.MapGroupsCtx(ctx, groupByPrefix(jobs, names), func(i int) {
 		j := &jobs[i]
-		names := t.seqStrings(j.seq)
 		tc := time.Now()
-		m, st, err := t.task.CompileModule(ctx, j.ms.name, names)
+		m, st, err := t.task.CompileModule(ctx, j.ms.name, names[i])
 		j.compile = time.Since(tc)
 		if err != nil {
 			return
 		}
-		j.fv = extract(t.opts.Feature, m, st, names)
+		j.fv = extract(t.opts.Feature, m, st, names[i])
 		j.ok = true
 	})
 
@@ -912,6 +987,10 @@ func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]
 			hits, misses := cs.CacheCounters()
 			t.rec.CacheStats(t.curSpan, hits, misses)
 		}
+		if ps, ok := t.task.(PrefixStatsReporter); ok {
+			saved, replayed, bytes, evictions := ps.PrefixCounters()
+			t.rec.PrefixCache(t.curSpan, saved, replayed, bytes, evictions)
+		}
 	}
 	return true
 }
@@ -949,6 +1028,10 @@ func (t *Tuner) finalize(start time.Time) {
 	if cs, ok := t.task.(CacheStatsReporter); ok {
 		t.res.Breakdown.CacheHits, t.res.Breakdown.CacheMisses = cs.CacheCounters()
 	}
+	if ps, ok := t.task.(PrefixStatsReporter); ok {
+		t.res.Breakdown.PrefixSavedPasses, t.res.Breakdown.PrefixReplayedPasses,
+			t.res.Breakdown.PrefixSnapshotBytes, t.res.Breakdown.PrefixEvictions = ps.PrefixCounters()
+	}
 	if pp, ok := t.task.(PassProfileReporter); ok {
 		t.res.PassProfile = pp.PassProfile()
 	}
@@ -962,7 +1045,11 @@ func (t *Tuner) finalize(start time.Time) {
 			"novel_selections":   t.res.NovelSelections,
 			"candidate_dup_rate": t.res.CandidateDupRate,
 			"cache_hits":         bd.CacheHits, "cache_misses": bd.CacheMisses,
-			"interrupted":        t.interrupted,
+			"prefix_saved_passes":    bd.PrefixSavedPasses,
+			"prefix_replayed_passes": bd.PrefixReplayedPasses,
+			"prefix_snapshot_bytes":  bd.PrefixSnapshotBytes,
+			"prefix_evictions":       bd.PrefixEvictions,
+			"interrupted":            t.interrupted,
 			"breakdown": map[string]any{
 				"gp_fit_ns": bd.GPFit.Nanoseconds(), "acq_max_ns": bd.AcqMax.Nanoseconds(),
 				"compile_ns": bd.Compile.Nanoseconds(), "measure_ns": bd.Measure.Nanoseconds(),

@@ -56,6 +56,17 @@ type CacheStatsReporter interface {
 	CacheCounters() (hits, misses int)
 }
 
+// PrefixStatsReporter is optionally implemented by Tasks whose evaluator
+// memoises intermediate compilation states keyed by sequence prefix (the
+// bench prefix-snapshot cache). The tuner copies the counters into
+// Result.Breakdown and journals them after every measurement.
+type PrefixStatsReporter interface {
+	// PrefixCounters returns cumulative pipeline passes skipped by resuming
+	// from prefix snapshots, passes actually executed, the estimated bytes
+	// currently held by snapshots, and the number of evicted snapshots.
+	PrefixCounters() (savedPasses, replayedPasses int, snapshotBytes int64, evictions int)
+}
+
 // PassProfileReporter is optionally implemented by Tasks whose evaluator
 // profiles individual pass invocations (wall time + statistics-counter
 // deltas; see passes.Profile). The tuner copies the aggregated costs into
@@ -78,6 +89,9 @@ type BenchTask struct {
 	// CacheFn, when set, reports the evaluator's compiled-module cache
 	// counters (see CacheStatsReporter).
 	CacheFn func() (hits, misses int)
+	// PrefixFn, when set, reports the evaluator's prefix-snapshot cache
+	// accounting (see PrefixStatsReporter).
+	PrefixFn func() (savedPasses, replayedPasses int, snapshotBytes int64, evictions int)
 	// PassProfileFn, when set, reports the evaluator's per-pass profile
 	// (see PassProfileReporter).
 	PassProfileFn func() []passes.PassCost
@@ -109,6 +123,15 @@ func (t *BenchTask) CacheCounters() (hits, misses int) {
 		return 0, 0
 	}
 	return t.CacheFn()
+}
+
+// PrefixCounters implements PrefixStatsReporter; without a PrefixFn it
+// reports an evaluator with no prefix cache (all zeros).
+func (t *BenchTask) PrefixCounters() (savedPasses, replayedPasses int, snapshotBytes int64, evictions int) {
+	if t.PrefixFn == nil {
+		return 0, 0, 0, 0
+	}
+	return t.PrefixFn()
 }
 
 // PassProfile implements PassProfileReporter; without a PassProfileFn it

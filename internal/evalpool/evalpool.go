@@ -161,6 +161,40 @@ func (p *Pool) MapCtx(ctx context.Context, n int, fn func(i int)) error {
 	return ctx.Err()
 }
 
+// MapGroupsCtx runs fn once for every index contained in groups: the indices
+// of one group run serially in order on a single worker, while distinct
+// groups fan out across the pool like MapCtx jobs. Use it when consecutive
+// jobs benefit from each other's side effects — the tuner groups candidate
+// compiles by shared sequence prefix so the first build of a group publishes
+// the prefix snapshots the rest resume from. The group shape changes
+// scheduling only: fn still writes per-index results into caller-owned slots,
+// so the outcome is identical to MapCtx over the same index set in any
+// grouping and for any worker count. Cancellation stops both group claiming
+// and the serial walk inside a claimed group.
+func (p *Pool) MapGroupsCtx(ctx context.Context, groups [][]int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.jobs != nil {
+		// MapCtx counts one job per group; account for the rest.
+		extra := -len(groups)
+		for _, g := range groups {
+			extra += len(g)
+		}
+		if extra > 0 {
+			p.jobs.Add(int64(extra))
+		}
+	}
+	return p.MapCtx(ctx, len(groups), func(g int) {
+		for _, i := range groups[g] {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+	})
+}
+
 // MapSeeded is Map with a per-index rand.Rand seeded with baseSeed + i, so
 // fn can draw randomness without sharing an RNG across workers. The streams
 // depend only on baseSeed and the index, never on the worker count, which

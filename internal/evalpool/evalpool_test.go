@@ -51,6 +51,60 @@ func TestMapSerialModeRunsInIndexOrder(t *testing.T) {
 	}
 }
 
+func TestMapGroupsCoversEveryIndexExactlyOnce(t *testing.T) {
+	groups := [][]int{{3, 1}, {0}, {4, 2, 5}, {}, {6}}
+	for _, w := range []int{1, 2, 8} {
+		counts := make([]int32, 7)
+		if err := New(w).MapGroupsCtx(context.Background(), groups, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestMapGroupsRunSeriallyInOrder(t *testing.T) {
+	// Within one group indices must run in order on one goroutine even when
+	// the pool has many workers; cross-group order is unconstrained.
+	group := []int{5, 3, 9, 0}
+	var mu sync.Mutex
+	var got []int
+	New(8).MapGroupsCtx(context.Background(), [][]int{group}, func(i int) {
+		mu.Lock()
+		got = append(got, i)
+		mu.Unlock()
+	})
+	if len(got) != len(group) {
+		t.Fatalf("ran %d of %d group jobs", len(got), len(group))
+	}
+	for k, v := range got {
+		if v != group[k] {
+			t.Fatalf("group order broken: got %v want %v", got, group)
+		}
+	}
+}
+
+func TestMapGroupsCancelStopsWithinGroup(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := New(1).MapGroupsCtx(ctx, [][]int{{0, 1, 2, 3}}, func(i int) {
+		if ran.Add(1) == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 1 {
+		t.Fatalf("cancellation mid-group still ran %d jobs", n)
+	}
+}
+
 func TestMapSeededIdenticalAcrossWorkerCounts(t *testing.T) {
 	draw := func(workers int) []float64 {
 		out := make([]float64, 64)

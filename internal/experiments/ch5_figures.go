@@ -338,6 +338,8 @@ func runFig512(c Config) error {
 	c.printf("  total wall clock: %v; %d compiles, %d measurements\n", bd.Total, bd.Compiles, bd.Measures)
 	c.printf("  compile cache: %d hits / %d misses (pipeline runs saved by incumbent reuse)\n",
 		bd.CacheHits, bd.CacheMisses)
+	c.printf("  prefix cache: %d passes saved / %d replayed (%d snapshot bytes, %d evictions)\n",
+		bd.PrefixSavedPasses, bd.PrefixReplayedPasses, bd.PrefixSnapshotBytes, bd.PrefixEvictions)
 	return nil
 }
 

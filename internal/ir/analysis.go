@@ -1,0 +1,92 @@
+package ir
+
+import "sync/atomic"
+
+// FuncAnalyses caches the block-graph analyses of one function: CFG,
+// dominator tree and loop nests. All three are derived solely from the block
+// graph (blocks, terminators, edges), so they stay valid under any
+// instruction-level mutation that leaves branch targets alone and are
+// invalidated together when the graph changes.
+//
+// The cache is attached to a Function by the pass manager (EnableAnalysisCache)
+// and consulted through AnalysesOf. A function without an attached cache gets
+// fresh, unretained computations — the pre-manager behaviour — so IR built or
+// cloned outside a managed pipeline is never at risk of staleness:
+// cloneFunction deliberately does not copy the cache.
+type FuncAnalyses struct {
+	cfg   *CFG
+	dom   *DomTree
+	loops *LoopInfo
+}
+
+// Analysis cache effectiveness counters (process-global, atomic). A "hit" is
+// a request answered from an attached cache; a "miss" is a request that had
+// to compute (whether or not the result was retained).
+var analysisHits, analysisMisses atomic.Int64
+
+// AnalysisCacheCounters returns the cumulative analysis-cache hit and miss
+// counts for the process.
+func AnalysisCacheCounters() (hits, misses int64) {
+	return analysisHits.Load(), analysisMisses.Load()
+}
+
+// EnableAnalysisCache attaches an (empty) analysis cache to f so subsequent
+// AnalysesOf calls retain their results. No-op when already attached.
+func EnableAnalysisCache(f *Function) {
+	if f.anal == nil {
+		f.anal = &FuncAnalyses{}
+	}
+}
+
+// DisableAnalysisCache detaches f's analysis cache, releasing the cached
+// structures and returning AnalysesOf to compute-fresh behaviour.
+func DisableAnalysisCache(f *Function) { f.anal = nil }
+
+// InvalidateAnalyses drops f's cached analyses (keeping the cache attached).
+// Passes call this after mutating the block graph mid-run; the pass manager
+// calls it after every pass that does not declare the CFG preserved.
+func InvalidateAnalyses(f *Function) {
+	if f.anal != nil {
+		*f.anal = FuncAnalyses{}
+	}
+}
+
+// CFGOf returns f's control-flow graph, from cache when one is attached.
+func CFGOf(f *Function) *CFG {
+	if f.anal != nil {
+		if f.anal.cfg == nil {
+			analysisMisses.Add(1)
+			f.anal.cfg = BuildCFG(f)
+		} else {
+			analysisHits.Add(1)
+		}
+		return f.anal.cfg
+	}
+	analysisMisses.Add(1)
+	return BuildCFG(f)
+}
+
+// DomTreeOf returns f's CFG and dominator tree, from cache when attached.
+func DomTreeOf(f *Function) (*CFG, *DomTree) {
+	cfg := CFGOf(f)
+	if f.anal != nil {
+		if f.anal.dom == nil {
+			f.anal.dom = BuildDomTree(cfg)
+		}
+		return cfg, f.anal.dom
+	}
+	return cfg, BuildDomTree(cfg)
+}
+
+// LoopsOf returns f's CFG, dominator tree and loop info, from cache when
+// attached.
+func LoopsOf(f *Function) (*CFG, *DomTree, *LoopInfo) {
+	cfg, dt := DomTreeOf(f)
+	if f.anal != nil {
+		if f.anal.loops == nil {
+			f.anal.loops = FindLoops(cfg, dt)
+		}
+		return cfg, dt, f.anal.loops
+	}
+	return cfg, dt, FindLoops(cfg, dt)
+}

@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// Fingerprint returns a cheap structural hash of the module: function
+// signatures, block structure, every instruction's opcode/type/flags/operands
+// (operands by position-independent local numbering, so the hash does not
+// depend on printing IDs), globals with their initialisers, and module meta.
+// Two modules with equal fingerprints are structurally identical with
+// overwhelming probability; the compilation caches use it to deduplicate
+// snapshots and key compiled states.
+func (m *Module) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	wi := func(v int64) { w64(uint64(v)) }
+	ws := func(s string) {
+		io.WriteString(h, s)
+		h.Write([]byte{0})
+	}
+	wty := func(t Type) { w64(uint64(t.Kind)<<32 | uint64(uint32(t.Lanes))) }
+
+	ws(m.Name)
+	wi(int64(m.TargetVecWidth64))
+	for _, k := range sortedMetaKeys(m.Meta) {
+		ws(k)
+	}
+	for _, g := range m.Globals {
+		ws(g.Name)
+		wty(g.Elem)
+		wi(int64(g.Size))
+		if g.Const {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+		for _, v := range g.InitI {
+			wi(v)
+		}
+		for _, v := range g.InitF {
+			w64(math.Float64bits(v))
+		}
+	}
+	for _, f := range m.Funcs {
+		ws(f.Name)
+		wty(f.RetTy)
+		wi(int64(f.Attrs))
+		for _, p := range f.Params {
+			wty(p.Ty)
+		}
+		if f.IsDecl {
+			h.Write([]byte{2})
+			continue
+		}
+		// Position-independent value numbering: instruction index within the
+		// function in block order, blocks by index.
+		inum := make(map[*Instr]int)
+		bnum := make(map[*Block]int, len(f.Blocks))
+		n := 0
+		for bi, b := range f.Blocks {
+			bnum[b] = bi
+			for _, in := range b.Instrs {
+				inum[in] = n
+				n++
+			}
+		}
+		for _, b := range f.Blocks {
+			ws(b.Name)
+			wi(int64(len(b.Instrs)))
+			for _, in := range b.Instrs {
+				w64(uint64(in.Op) | uint64(in.Pred)<<8 | uint64(in.Flags)<<16 | uint64(uint32(in.NAlloc))<<32)
+				wty(in.Ty)
+				wty(in.AllocTy)
+				ws(in.Callee)
+				for _, op := range in.Ops {
+					switch t := op.(type) {
+					case *Instr:
+						w64(1<<56 | uint64(uint32(inum[t])))
+					case *Param:
+						w64(2<<56 | uint64(uint32(t.Index)))
+					case *Global:
+						h.Write([]byte{3})
+						ws(t.Name)
+					case *Const:
+						w64(4 << 56)
+						wty(t.Ty)
+						wi(t.I)
+						w64(math.Float64bits(t.F))
+					default:
+						w64(5 << 56)
+					}
+				}
+				for _, tb := range in.Blocks {
+					w64(6<<56 | uint64(uint32(bnum[tb])))
+				}
+				for _, c := range in.Cases {
+					wi(c)
+				}
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+func sortedMetaKeys(meta map[string]bool) []string {
+	if len(meta) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(meta))
+	for k, v := range meta {
+		if v {
+			keys = append(keys, k)
+		}
+	}
+	// Insertion sort: meta maps hold a handful of entries.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// ApproxBytes estimates the retained heap size of the module in bytes, for
+// byte-budgeted cache eviction. The estimate covers the dominant costs —
+// instruction objects, operand/block slices, block and function headers,
+// global initialisers — with fixed per-object constants; it is intentionally
+// rough but monotone in module size.
+func (m *Module) ApproxBytes() int64 {
+	const (
+		instrBase = 160 // Instr struct + map residency overheads
+		slotBytes = 16  // per operand / per block-ref slot
+		blockBase = 96
+		funcBase  = 160
+		globBase  = 96
+	)
+	total := int64(256) // Module header, meta map
+	for _, g := range m.Globals {
+		total += globBase + int64(len(g.InitI))*8 + int64(len(g.InitF))*8
+	}
+	for _, f := range m.Funcs {
+		total += funcBase + int64(len(f.Params))*48
+		for _, b := range f.Blocks {
+			total += blockBase + int64(len(b.Name))
+			for _, in := range b.Instrs {
+				total += instrBase +
+					int64(len(in.Ops)+len(in.Blocks))*slotBytes +
+					int64(len(in.Cases))*8 + int64(len(in.Callee))
+			}
+		}
+	}
+	return total
+}

@@ -31,6 +31,9 @@ type Function struct {
 	Attrs   FuncAttrs
 	IsDecl  bool // declaration only (external), no body
 	nextTmp int
+	// anal caches block-graph analyses (see analysis.go). Never cloned:
+	// cloneFunction leaves it nil so copies start with no stale state.
+	anal *FuncAnalyses
 }
 
 // Entry returns the entry block.

@@ -402,6 +402,20 @@ func (r *Recorder) CacheStats(parent int64, hits, misses int) {
 	})
 }
 
+// PrefixCache records cumulative prefix-snapshot compilation-cache accounting
+// at a serial synchronisation point (after a measurement): pipeline passes
+// skipped by resuming from snapshots vs actually executed, the bytes
+// currently retained by snapshots, and how many snapshots were evicted.
+func (r *Recorder) PrefixCache(parent int64, savedPasses, replayedPasses int, snapshotBytes int64, evictions int) {
+	if r == nil {
+		return
+	}
+	r.emit("prefix-cache-stats", -1, parent, map[string]any{
+		"saved_passes": savedPasses, "replayed_passes": replayedPasses,
+		"snapshot_bytes": snapshotBytes, "evictions": evictions,
+	})
+}
+
 // NewIncumbent records a program-level best-speedup improvement. The final
 // new-incumbent event of a run matches Result.BestSpeedup.
 func (r *Recorder) NewIncumbent(parent int64, module string, measurement int, speedup float64) {

@@ -5,7 +5,7 @@ import (
 )
 
 func init() {
-	register("simplifycfg", "CFG cleanup: dead blocks, merges, if-conversion",
+	register("simplifycfg", "CFG cleanup: dead blocks, merges, if-conversion", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				n, sel := simplifyCFG(m, f)
@@ -14,49 +14,49 @@ func init() {
 			})
 		})
 
-	register("jump-threading", "thread branches over blocks with known outcome",
+	register("jump-threading", "thread branches over blocks with known outcome", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("jump-threading.NumThreads", threadJumps(f))
 			})
 		})
 
-	register("correlated-propagation", "propagate branch-implied facts",
+	register("correlated-propagation", "propagate branch-implied facts", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("correlated-propagation.NumPropagated", propagateBranchFacts(f, false))
 			})
 		})
 
-	register("constraint-elimination", "remove comparisons implied by dominating branches",
+	register("constraint-elimination", "remove comparisons implied by dominating branches", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("constraint-elimination.NumCondsRemoved", propagateBranchFacts(f, true))
 			})
 		})
 
-	register("lower-switch", "lower switch terminators to branch chains",
+	register("lower-switch", "lower switch terminators to branch chains", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("lower-switch.NumLowered", lowerSwitches(f))
 			})
 		})
 
-	register("flattencfg", "merge nested conditions into logical ops",
+	register("flattencfg", "merge nested conditions into logical ops", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("flattencfg.NumFlattened", flattenCFG(f))
 			})
 		})
 
-	register("break-crit-edges", "split critical edges",
+	register("break-crit-edges", "split critical edges", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("break-crit-edges.NumBroken", breakCriticalEdges(f))
 			})
 		})
 
-	register("mergereturn", "unify multiple returns into one exit block",
+	register("mergereturn", "unify multiple returns into one exit block", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("mergereturn.NumMerged", mergeReturns(f))
@@ -449,8 +449,7 @@ func threadJumps(f *ir.Function) int {
 // comparisons (condsOnly=true) with the implied constant.
 func propagateBranchFacts(f *ir.Function, condsOnly bool) int {
 	n := 0
-	cfg := ir.BuildCFG(f)
-	dt := ir.BuildDomTree(cfg)
+	cfg, dt := domOf(f)
 	for _, b := range f.Blocks {
 		t := b.Term()
 		if t == nil || t.Op != ir.OpBr {

@@ -205,7 +205,7 @@ func widenExtChain(f *ir.Function, b *ir.Block, idx int) bool {
 }
 
 func init() {
-	register("instcombine", "canonicalising peephole combiner",
+	register("instcombine", "canonicalising peephole combiner", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				n := runCombine(m, f, combineConfig{
@@ -216,7 +216,7 @@ func init() {
 			})
 		})
 
-	register("aggressive-instcombine", "expensive combine patterns",
+	register("aggressive-instcombine", "expensive combine patterns", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				n := runCombine(m, f, combineConfig{
@@ -228,7 +228,7 @@ func init() {
 			})
 		})
 
-	register("instsimplify", "fold to existing values only",
+	register("instsimplify", "fold to existing values only", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("instsimplify.NumSimplified", runInstSimplify(f))

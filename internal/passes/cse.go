@@ -15,8 +15,7 @@ type cseConfig struct {
 // runCSE performs value numbering and returns (#instructions, #loads) CSE'd.
 func runCSE(m *ir.Module, f *ir.Function, cfg cseConfig) (int, int) {
 	nInstr, nLoad := 0, 0
-	cfgG := ir.BuildCFG(f)
-	dt := ir.BuildDomTree(cfgG)
+	cfgG, dt := domOf(f)
 	children := make(map[*ir.Block][]*ir.Block)
 	for b, id := range dt.IDom {
 		if b != id {
@@ -175,7 +174,7 @@ func sortBlocks(bs []*ir.Block, order map[*ir.Block]int) {
 }
 
 func init() {
-	register("early-cse", "block-local common subexpression elimination",
+	register("early-cse", "block-local common subexpression elimination", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				ni, nl := runCSE(m, f, cseConfig{loads: true})
@@ -184,7 +183,7 @@ func init() {
 			})
 		})
 
-	register("early-cse-memssa", "dominator-scoped CSE with memory SSA",
+	register("early-cse-memssa", "dominator-scoped CSE with memory SSA", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				ni, nl := runCSE(m, f, cseConfig{global: true, loads: true})
@@ -193,7 +192,7 @@ func init() {
 			})
 		})
 
-	register("gvn", "global value numbering with load and call elimination",
+	register("gvn", "global value numbering with load and call elimination", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				ni, nl := runCSE(m, f, cseConfig{global: true, loads: true, calls: true})
@@ -202,7 +201,7 @@ func init() {
 			})
 		})
 
-	register("newgvn", "GVN that also value-numbers phi nodes",
+	register("newgvn", "GVN that also value-numbers phi nodes", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				ni, nl := runCSE(m, f, cseConfig{global: true, loads: true, calls: true, phiValues: true})
@@ -211,21 +210,21 @@ func init() {
 			})
 		})
 
-	register("gvn-hoist", "hoist identical computations from sibling blocks",
+	register("gvn-hoist", "hoist identical computations from sibling blocks", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("gvn-hoist.NumHoisted", hoistCommon(m, f, false))
 			})
 		})
 
-	register("gvn-sink", "sink identical computations into the common successor",
+	register("gvn-sink", "sink identical computations into the common successor", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("gvn-sink.NumSunk", sinkCommon(m, f))
 			})
 		})
 
-	register("mldst-motion", "merged load/store motion across diamonds",
+	register("mldst-motion", "merged load/store motion across diamonds", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("mldst-motion.NumHoisted", hoistCommon(m, f, true))
@@ -238,7 +237,7 @@ func init() {
 // rewrite to loads (mldst-motion); otherwise pure ops are hoisted (gvn-hoist).
 func hoistCommon(m *ir.Module, f *ir.Function, loadsOnly bool) int {
 	n := 0
-	cfg := ir.BuildCFG(f)
+	cfg := cfgOf(f)
 	for _, b := range f.Blocks {
 		t := b.Term()
 		if t == nil || t.Op != ir.OpBr {
@@ -279,7 +278,7 @@ func hoistCommon(m *ir.Module, f *ir.Function, loadsOnly bool) int {
 // predecessors into their common single successor.
 func sinkCommon(m *ir.Module, f *ir.Function) int {
 	n := 0
-	cfg := ir.BuildCFG(f)
+	cfg := cfgOf(f)
 	for _, b := range f.Blocks {
 		preds := cfg.Preds[b]
 		if len(preds) != 2 || len(b.Phis()) > 0 {

@@ -1,0 +1,120 @@
+package passes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestManagerDifferentialFuzz is the correctness harness for the analysis
+// cache: for random sequences over the full 76-pass vocabulary, a managed
+// build (analyses cached across passes, invalidated per each pass's
+// Preserves declaration) must be bit-identical — printed module and Stats —
+// to a naive build that recomputes every analysis from scratch. Any
+// over-claimed Preserves bit shows up here as a divergence.
+//
+// The sequence count across modules exceeds 200 (the acceptance floor) in
+// the default mode; -short trims it for quick local runs.
+func TestManagerDifferentialFuzz(t *testing.T) {
+	names := Names()
+	programs := allTestModules()
+	iters := 60 // per program; 5 programs → 300 sequences
+	if testing.Short() {
+		iters = 10
+	}
+	rng := rand.New(rand.NewSource(20260805))
+	for name, build := range programs {
+		for it := 0; it < iters; it++ {
+			seqLen := 3 + rng.Intn(40)
+			seq := make([]string, seqLen)
+			for i := range seq {
+				seq[i] = names[rng.Intn(len(names))]
+			}
+
+			cached := build()
+			cachedSt := Stats{}
+			cachedErr := Apply(cached, seq, cachedSt, false)
+
+			naive := build()
+			naiveSt := Stats{}
+			naiveErr := ApplyUncached(naive, seq, naiveSt, false)
+
+			if (cachedErr == nil) != (naiveErr == nil) {
+				t.Fatalf("%s it=%d: error divergence: cached=%v naive=%v\nseq=%v",
+					name, it, cachedErr, naiveErr, seq)
+			}
+			if cachedErr != nil {
+				continue
+			}
+			cached.Renumber()
+			naive.Renumber()
+			if cp, np := cached.String(), naive.String(); cp != np {
+				t.Fatalf("%s it=%d: cached build diverges from naive build\nseq=%v\n--- cached ---\n%s\n--- naive ---\n%s",
+					name, it, seq, cp, np)
+			}
+			if cached.Fingerprint() != naive.Fingerprint() {
+				t.Fatalf("%s it=%d: fingerprint divergence on identical prints\nseq=%v", name, it, seq)
+			}
+			if cj, nj := cachedSt.JSON(), naiveSt.JSON(); cj != nj {
+				t.Fatalf("%s it=%d: Stats divergence\nseq=%v\ncached=%s\nnaive=%s", name, it, seq, cj, nj)
+			}
+		}
+	}
+}
+
+// TestManagerStepEquivalence checks that driving passes one at a time through
+// Manager.RunOne with a single final verification — the prefix-snapshot
+// cache's resume path — matches a plain Apply of the same sequence.
+func TestManagerStepEquivalence(t *testing.T) {
+	names := Names()
+	rng := rand.New(rand.NewSource(7))
+	for name, build := range allTestModules() {
+		for it := 0; it < 10; it++ {
+			seqLen := 4 + rng.Intn(24)
+			seq := make([]string, seqLen)
+			for i := range seq {
+				seq[i] = names[rng.Intn(len(names))]
+			}
+
+			whole := build()
+			wholeSt := Stats{}
+			if err := Apply(whole, seq, wholeSt, false); err != nil {
+				continue // verify failures are covered by the fuzz test above
+			}
+
+			stepped := build()
+			steppedSt := Stats{}
+			mgr := NewManager()
+			for _, pn := range seq {
+				mgr.RunOne(stepped, Lookup(pn), steppedSt)
+			}
+			mgr.Release(stepped)
+
+			whole.Renumber()
+			stepped.Renumber()
+			if wp, sp := whole.String(), stepped.String(); wp != sp {
+				t.Fatalf("%s it=%d: stepped build diverges\nseq=%v\n--- whole ---\n%s\n--- stepped ---\n%s",
+					name, it, seq, wp, sp)
+			}
+			if wj, sj := wholeSt.JSON(), steppedSt.JSON(); wj != sj {
+				t.Fatalf("%s it=%d: stepped Stats diverge\nseq=%v\nwhole=%s\nstepped=%s", name, it, seq, wj, sj)
+			}
+		}
+	}
+}
+
+// TestStatsClone covers the Stats.Clone helper: independent storage, equal
+// contents.
+func TestStatsClone(t *testing.T) {
+	s := Stats{"a.X": 1, "b.Y": 2}
+	c := s.Clone()
+	if c.JSON() != s.JSON() {
+		t.Fatalf("clone differs: %s vs %s", c.JSON(), s.JSON())
+	}
+	c.Add("a.X", 5)
+	if s["a.X"] != 1 {
+		t.Fatalf("clone shares storage with original")
+	}
+	if got := Stats(nil).Clone(); len(got) != 0 {
+		t.Fatalf("nil clone not empty: %v", got)
+	}
+}

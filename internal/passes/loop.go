@@ -4,36 +4,51 @@ import (
 	"repro/internal/ir"
 )
 
-// loopsOf recomputes CFG, dominators and loop info for f.
+// loopsOf returns CFG, dominators and loop info for f, served from the
+// function's analysis cache when the pass manager has attached one.
 func loopsOf(f *ir.Function) (*ir.CFG, *ir.DomTree, *ir.LoopInfo) {
-	cfg := ir.BuildCFG(f)
-	dt := ir.BuildDomTree(cfg)
-	return cfg, dt, ir.FindLoops(cfg, dt)
+	return ir.LoopsOf(f)
 }
 
+// loopsOfFresh drops any cached analyses and recomputes. CFG-restructuring
+// fixpoint passes call this at the top of each iteration: their previous
+// iteration may have mutated the block graph, so the cache (valid at pass
+// entry) must not be trusted mid-pass.
+func loopsOfFresh(f *ir.Function) (*ir.CFG, *ir.DomTree, *ir.LoopInfo) {
+	ir.InvalidateAnalyses(f)
+	return ir.LoopsOf(f)
+}
+
+// cfgOf and domOf are the cached counterparts of ir.BuildCFG/BuildDomTree
+// for passes that read the block graph without restructuring it.
+func cfgOf(f *ir.Function) *ir.CFG { return ir.CFGOf(f) }
+
+func domOf(f *ir.Function) (*ir.CFG, *ir.DomTree) { return ir.DomTreeOf(f) }
+
+
 func init() {
-	register("loop-simplify", "canonicalise loops: dedicated preheaders",
+	register("loop-simplify", "canonicalise loops: dedicated preheaders", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("loop-simplify.NumPreheaders", insertPreheaders(f))
 			})
 		})
 
-	register("lcssa", "insert loop-closed SSA phis at exits",
+	register("lcssa", "insert loop-closed SSA phis at exits", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("lcssa.NumLCSSA", insertLCSSAPhis(f))
 			})
 		})
 
-	register("loop-rotate", "rotate while-loops into guarded do-while form",
+	register("loop-rotate", "rotate while-loops into guarded do-while form", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("loop-rotate.NumRotated", rotateLoops(m, f))
 			})
 		})
 
-	register("licm", "hoist loop-invariant computation to the preheader",
+	register("licm", "hoist loop-invariant computation to the preheader", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				h, hl := hoistInvariants(m, f)
@@ -42,14 +57,14 @@ func init() {
 			})
 		})
 
-	register("loop-deletion", "delete loops with no observable effects",
+	register("loop-deletion", "delete loops with no observable effects", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("loop-deletion.NumDeleted", deleteDeadLoops(m, f))
 			})
 		})
 
-	register("loop-idiom", "recognise memset/memcpy loops",
+	register("loop-idiom", "recognise memset/memcpy loops", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				ms, mc := recognizeIdioms(m, f)
@@ -58,35 +73,35 @@ func init() {
 			})
 		})
 
-	register("indvars", "canonicalise induction variables and exit tests",
+	register("indvars", "canonicalise induction variables and exit tests", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("indvars.NumLFTR", canonicalizeIVs(f))
 			})
 		})
 
-	register("simple-loop-unswitch", "hoist invariant branches out of loops",
+	register("simple-loop-unswitch", "hoist invariant branches out of loops", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("simple-loop-unswitch.NumUnswitched", unswitchLoops(m, f))
 			})
 		})
 
-	register("lsr", "loop strength reduction of IV multiplications",
+	register("lsr", "loop strength reduction of IV multiplications", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("lsr.NumStrengthReduced", strengthReduceIVs(f))
 			})
 		})
 
-	register("loop-sink", "sink preheader computation into the loop",
+	register("loop-sink", "sink preheader computation into the loop", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("loop-sink.NumSunk", sinkIntoLoops(m, f))
 			})
 		})
 
-	register("loop-instsimplify", "instruction simplification inside loops",
+	register("loop-instsimplify", "instruction simplification inside loops", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				_, _, li := loopsOf(f)
@@ -96,7 +111,7 @@ func init() {
 			})
 		})
 
-	register("loop-simplifycfg", "CFG cleanup scoped to functions with loops",
+	register("loop-simplifycfg", "CFG cleanup scoped to functions with loops", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				_, _, li := loopsOf(f)
@@ -107,14 +122,14 @@ func init() {
 			})
 		})
 
-	register("loop-data-prefetch", "software-prefetch strided loop loads",
+	register("loop-data-prefetch", "software-prefetch strided loop loads", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("loop-data-prefetch.NumPrefetches", insertPrefetches(f))
 			})
 		})
 
-	register("loop-fusion", "fuse adjacent loops with equal trip counts",
+	register("loop-fusion", "fuse adjacent loops with equal trip counts", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("loop-fusion.NumFused", fuseLoops(m, f))
@@ -127,7 +142,7 @@ func insertPreheaders(f *ir.Function) int {
 	n := 0
 	for changed := true; changed; {
 		changed = false
-		cfg, _, li := loopsOf(f)
+		cfg, _, li := loopsOfFresh(f)
 		for _, l := range li.Loops {
 			if l.Preheader != nil {
 				continue
@@ -312,7 +327,7 @@ func rotateLoops(m *ir.Module, f *ir.Function) int {
 	n := 0
 	for changed := true; changed; {
 		changed = false
-		cfg, _, li := loopsOf(f)
+		cfg, _, li := loopsOfFresh(f)
 		for _, l := range li.Loops {
 			if rotateOne(m, f, cfg, l) {
 				n++
@@ -747,7 +762,7 @@ func deleteDeadLoops(m *ir.Module, f *ir.Function) int {
 	n := 0
 	for changed := true; changed; {
 		changed = false
-		cfg, _, li := loopsOf(f)
+		cfg, _, li := loopsOfFresh(f)
 		for _, l := range li.Loops {
 			if l.Preheader == nil || loopHasMemoryEffects(m, l) {
 				continue
@@ -827,7 +842,7 @@ func recognizeIdioms(m *ir.Module, f *ir.Function) (int, int) {
 	ms, mc := 0, 0
 	for changed := true; changed; {
 		changed = false
-		cfg, _, li := loopsOf(f)
+		cfg, _, li := loopsOfFresh(f)
 		for _, l := range li.Loops {
 			if l.Preheader == nil || l.Header != l.Latch || len(l.Blocks) != 1 {
 				continue
@@ -1030,7 +1045,7 @@ func unswitchLoops(m *ir.Module, f *ir.Function) int {
 	n := 0
 	for changed := true; changed; {
 		changed = false
-		cfg, _, li := loopsOf(f)
+		cfg, _, li := loopsOfFresh(f)
 		for _, l := range li.Loops {
 			if l.Preheader == nil || len(l.Blocks) > 12 {
 				continue
@@ -1309,7 +1324,7 @@ func fuseLoops(m *ir.Module, f *ir.Function) int {
 	n := 0
 	for changed := true; changed; {
 		changed = false
-		cfg, _, li := loopsOf(f)
+		cfg, _, li := loopsOfFresh(f)
 		for _, l1 := range li.Loops {
 			if fuseWithNext(m, f, cfg, li, l1) {
 				n++

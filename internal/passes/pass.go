@@ -7,9 +7,7 @@ package passes
 
 import (
 	"encoding/json"
-	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/ir"
 )
@@ -49,10 +47,42 @@ func (s Stats) JSON() string {
 	return string(b)
 }
 
+// Clone returns an independent copy of the statistics.
+func (s Stats) Clone() Stats {
+	out := make(Stats, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// PreservedAnalyses declares, per pass, which cached analyses survive the
+// pass (LLVM's PreservedAnalyses, reduced to this IR's analysis set). The
+// cached analyses — CFG, dominator tree, loop info — all derive from the
+// block graph alone, so a single "CFG preserved" bit covers all three:
+// a pass that never adds/removes blocks or rewrites branch targets keeps
+// every cached analysis valid no matter how it rewrites straight-line code.
+type PreservedAnalyses uint8
+
+const (
+	// PreserveNone: the pass may restructure the block graph; all cached
+	// analyses are invalidated after it runs. The safe default.
+	PreserveNone PreservedAnalyses = 0
+	// PreserveCFG: the pass mutates instructions only (insert/remove/move/
+	// rewrite non-terminators, attribute and global changes) and never
+	// changes the block graph, so CFG, dominators and loop info stay valid.
+	PreserveCFG PreservedAnalyses = 1 << iota
+	// PreserveAll: analysis-only; nothing is invalidated.
+	PreserveAll = PreserveCFG
+)
+
 // Pass is one named transformation.
 type Pass struct {
 	Name string
 	Desc string
+	// Preserves declares which cached analyses survive Run (see
+	// PreservedAnalyses); the Manager invalidates accordingly.
+	Preserves PreservedAnalyses
 	// Run transforms m in place, recording statistics into st.
 	Run func(m *ir.Module, st Stats)
 }
@@ -61,11 +91,11 @@ type Pass struct {
 var registry []*Pass
 var byName = map[string]*Pass{}
 
-func register(name, desc string, run func(m *ir.Module, st Stats)) {
+func register(name, desc string, preserves PreservedAnalyses, run func(m *ir.Module, st Stats)) {
 	if byName[name] != nil {
 		panic("passes: duplicate registration of " + name)
 	}
-	p := &Pass{Name: name, Desc: desc, Run: run}
+	p := &Pass{Name: name, Desc: desc, Preserves: preserves, Run: run}
 	registry = append(registry, p)
 	byName[name] = p
 }
@@ -88,6 +118,8 @@ func Names() []string {
 // Apply runs the named passes in order on m, accumulating statistics.
 // When verifyEach is set, the IR is verified after every pass and the first
 // violation is reported as an error naming the offending pass (a pass bug).
+// Analyses are cached across passes per each pass's Preserves declaration
+// (see Manager); ApplyUncached is the recompute-everything variant.
 func Apply(m *ir.Module, sequence []string, st Stats, verifyEach bool) error {
 	return ApplyObserved(m, sequence, st, verifyEach, nil)
 }
@@ -99,32 +131,18 @@ func Apply(m *ir.Module, sequence []string, st Stats, verifyEach bool) error {
 // (Stats.Add is additive), so profiling never changes what the cost model
 // sees. IR verification time is excluded from the reported wall time.
 func ApplyObserved(m *ir.Module, sequence []string, st Stats, verifyEach bool, obs Observer) error {
-	for _, name := range sequence {
-		p := byName[name]
-		if p == nil {
-			return fmt.Errorf("passes: unknown pass %q", name)
-		}
-		if obs == nil {
-			p.Run(m, st)
-		} else {
-			delta := Stats{}
-			t0 := time.Now()
-			p.Run(m, delta)
-			obs.PassRan(name, time.Since(t0), delta)
-			st.Merge(delta)
-		}
-		if verifyEach {
-			if err := ir.Verify(m); err != nil {
-				return fmt.Errorf("passes: IR invalid after %s: %w", name, err)
-			}
-		}
-	}
-	if !verifyEach {
-		if err := ir.Verify(m); err != nil {
-			return fmt.Errorf("passes: IR invalid after sequence: %w", err)
-		}
-	}
-	return nil
+	mgr := NewManager()
+	mgr.Obs = obs
+	return mgr.Run(m, sequence, st, verifyEach)
+}
+
+// ApplyUncached runs the sequence with analysis caching disabled — every
+// analysis request recomputes from scratch. This is the naive reference
+// build the differential tests compare managed compilation against.
+func ApplyUncached(m *ir.Module, sequence []string, st Stats, verifyEach bool) error {
+	mgr := NewManager()
+	mgr.CacheAnalyses = false
+	return mgr.Run(m, sequence, st, verifyEach)
 }
 
 // forEachDefined invokes fn for every function with a body.

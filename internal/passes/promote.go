@@ -30,9 +30,8 @@ func promoteAllocas(f *ir.Function) (promoted, phis int) {
 		return 0, 0
 	}
 
-	cfg := ir.BuildCFG(f)
+	cfg, dt := domOf(f)
 	reach := cfg.Reachable()
-	dt := ir.BuildDomTree(cfg)
 
 	// Insert a phi per variable in every reachable join block (maximal SSA).
 	type phiInfo struct {
@@ -244,7 +243,7 @@ func promoteAllocas(f *ir.Function) (promoted, phis int) {
 }
 
 func init() {
-	register("mem2reg", "promote scalar allocas to SSA registers",
+	register("mem2reg", "promote scalar allocas to SSA registers", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				p, ph := promoteAllocas(f)
@@ -253,7 +252,7 @@ func init() {
 			})
 		})
 
-	register("sroa", "scalar replacement of aggregates, then promotion",
+	register("sroa", "scalar replacement of aggregates, then promotion", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("sroa.NumReplaced", splitAggregates(f))
@@ -263,7 +262,7 @@ func init() {
 			})
 		})
 
-	register("reg2mem", "demote SSA phis back to stack slots",
+	register("reg2mem", "demote SSA phis back to stack slots", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("reg2mem.NumPhisDemoted", demotePhis(f))

@@ -5,112 +5,112 @@ import (
 )
 
 func init() {
-	register("reassociate", "rank-based reassociation of associative chains",
+	register("reassociate", "rank-based reassociation of associative chains", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("reassociate.NumReassoc", reassociate(f))
 			})
 		})
 
-	register("nary-reassociate", "canonical commutative operand ordering",
+	register("nary-reassociate", "canonical commutative operand ordering", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("nary-reassociate.NumCanon", canonicalizeCommutative(f))
 			})
 		})
 
-	register("tailcallelim", "turn self-recursive tail calls into loops",
+	register("tailcallelim", "turn self-recursive tail calls into loops", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("tailcallelim.NumEliminated", eliminateTailCalls(f))
 			})
 		})
 
-	register("memcpyopt", "merge constant store runs into memset",
+	register("memcpyopt", "merge constant store runs into memset", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("memcpyopt.NumMemSet", storeRunsToMemset(f))
 			})
 		})
 
-	register("sink", "sink computations into the arm that uses them",
+	register("sink", "sink computations into the arm that uses them", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("sink.NumSunk", sinkIntoArms(m, f))
 			})
 		})
 
-	register("speculative-execution", "hoist cheap pure ops above branches",
+	register("speculative-execution", "hoist cheap pure ops above branches", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("speculative-execution.NumSpeculated", speculateArms(m, f))
 			})
 		})
 
-	register("slsr", "straight-line strength reduction",
+	register("slsr", "straight-line strength reduction", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("slsr.NumRewritten", straightLineSR(f))
 			})
 		})
 
-	register("div-rem-pairs", "recompose rem from matching div",
+	register("div-rem-pairs", "recompose rem from matching div", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("div-rem-pairs.NumRecomposed", divRemPairs(f))
 			})
 		})
 
-	register("float2int", "demote int-valued float arithmetic to integers",
+	register("float2int", "demote int-valued float arithmetic to integers", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("float2int.NumConverted", floatToInt(f))
 			})
 		})
 
-	register("partially-inline-libcalls", "expand abs/min/max builtins inline",
+	register("partially-inline-libcalls", "expand abs/min/max builtins inline", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("partially-inline-libcalls.NumInlined", inlineIntBuiltins(f))
 			})
 		})
 
-	register("separate-const-offset-from-gep", "split constant offsets out of GEPs",
+	register("separate-const-offset-from-gep", "split constant offsets out of GEPs", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("separate-const-offset-from-gep.NumSplit", splitGEPOffsets(f))
 			})
 		})
 
-	register("scalarizer", "split vector operations into scalar lanes",
+	register("scalarizer", "split vector operations into scalar lanes", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("scalarizer.NumScalarized", scalarizeVectors(f))
 			})
 		})
 
-	register("expand-reductions", "lower vector reductions to extract chains",
+	register("expand-reductions", "lower vector reductions to extract chains", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("expand-reductions.NumExpanded", expandReductions(f))
 			})
 		})
 
-	register("mergeicmps", "merge equality-compare chains into memcmp",
+	register("mergeicmps", "merge equality-compare chains into memcmp", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("mergeicmps.NumMerged", mergeICmpChains(f))
 			})
 		})
 
-	register("callsite-splitting", "split calls with phi arguments per predecessor",
+	register("callsite-splitting", "split calls with phi arguments per predecessor", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("callsite-splitting.NumSplit", splitCallSites(m, f))
 			})
 		})
 
-	register("loop-load-elim", "forward stored values to in-loop loads",
+	register("loop-load-elim", "forward stored values to in-loop loads", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("loop-load-elim.NumForwarded", forwardStoreToLoad(f))
@@ -413,7 +413,7 @@ func storeRunsToMemset(f *ir.Function) int {
 // block into the arm that uses them, so the untaken path skips the work.
 func sinkIntoArms(m *ir.Module, f *ir.Function) int {
 	n := 0
-	cfg := ir.BuildCFG(f)
+	cfg := cfgOf(f)
 	for _, b := range f.Blocks {
 		t := b.Term()
 		if t == nil || t.Op != ir.OpBr {
@@ -468,7 +468,7 @@ func sinkIntoArms(m *ir.Module, f *ir.Function) int {
 // preparing if-conversion.
 func speculateArms(m *ir.Module, f *ir.Function) int {
 	n := 0
-	cfg := ir.BuildCFG(f)
+	cfg := cfgOf(f)
 	for _, b := range f.Blocks {
 		t := b.Term()
 		if t == nil || t.Op != ir.OpBr {
@@ -872,7 +872,7 @@ func mergeICmpChains(f *ir.Function) int {
 // predecessor with the argument resolved, enabling later specialisation.
 func splitCallSites(m *ir.Module, f *ir.Function) int {
 	n := 0
-	cfg := ir.BuildCFG(f)
+	cfg := cfgOf(f)
 	// Shape: block = {phi, call using phi, jmp}, two preds, void call so no
 	// merging phi for the result is needed.
 	for _, b := range f.Blocks {

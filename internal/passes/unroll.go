@@ -5,7 +5,7 @@ import (
 )
 
 func init() {
-	register("loop-unroll", "full and partial loop unrolling",
+	register("loop-unroll", "full and partial loop unrolling", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				full, partial := unrollLoops(f, 16, 48, 4)
@@ -14,7 +14,7 @@ func init() {
 			})
 		})
 
-	register("loop-unroll-full", "aggressive full unrolling only",
+	register("loop-unroll-full", "aggressive full unrolling only", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				full, _ := unrollLoops(f, 64, 96, 0)
@@ -30,7 +30,7 @@ func unrollLoops(f *ir.Function, fullTripMax int64, bodyMax, factor int) (int, i
 	full, partial := 0, 0
 	for changed := true; changed; {
 		changed = false
-		cfg, _, li := loopsOf(f)
+		cfg, _, li := loopsOfFresh(f)
 		for _, l := range li.Loops {
 			if l.Preheader == nil || l.Header != l.Latch || len(l.Blocks) != 1 {
 				continue

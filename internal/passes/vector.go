@@ -7,14 +7,14 @@ import (
 )
 
 func init() {
-	register("loop-vectorize", "vectorise counted innermost loops",
+	register("loop-vectorize", "vectorise counted innermost loops", PreserveNone,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("loop-vectorize.LoopsVectorized", vectorizeLoops(m, f))
 			})
 		})
 
-	register("slp-vectorizer", "superword-level parallelism vectorisation",
+	register("slp-vectorizer", "superword-level parallelism vectorisation", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				nv, nr := slpVectorize(m, f)
@@ -23,14 +23,14 @@ func init() {
 			})
 		})
 
-	register("vector-combine", "fold redundant vector element traffic",
+	register("vector-combine", "fold redundant vector element traffic", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("vector-combine.NumCombined", combineVectorOps(f))
 			})
 		})
 
-	register("load-store-vectorizer", "merge consecutive scalar memory ops",
+	register("load-store-vectorizer", "merge consecutive scalar memory ops", PreserveCFG,
 		func(m *ir.Module, st Stats) {
 			forEachDefined(m, func(f *ir.Function) {
 				st.Add("load-store-vectorizer.NumVectorized", vectorizeLoadRuns(m, f))
@@ -45,7 +45,7 @@ func vectorizeLoops(m *ir.Module, f *ir.Function) int {
 	n := 0
 	for changed := true; changed; {
 		changed = false
-		cfg, _, li := loopsOf(f)
+		cfg, _, li := loopsOfFresh(f)
 		for _, l := range li.Loops {
 			if vectorizeOneLoop(m, f, cfg, l) {
 				n++
