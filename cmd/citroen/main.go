@@ -170,6 +170,8 @@ func main() {
 	fmt.Printf("Prefix cache: %d passes saved / %d replayed (%d snapshot bytes, %d evictions)\n",
 		res.Breakdown.PrefixSavedPasses, res.Breakdown.PrefixReplayedPasses,
 		res.Breakdown.PrefixSnapshotBytes, res.Breakdown.PrefixEvictions)
+	fmt.Printf("GP surrogate: %d full fits / %d incremental appends\n",
+		res.Breakdown.GPFits, res.Breakdown.GPAppends)
 	fmt.Printf("Per-module budget: %v\n", res.ModuleBudget)
 	for mod, seq := range res.BestSeqs {
 		fmt.Printf("\nBest sequence for %s (%d passes):\n  %s\n", mod, len(seq), strings.Join(seq, ","))

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"repro/internal/acq"
+	"repro/internal/evalpool"
 	"repro/internal/gp"
 	"repro/internal/heuristic"
 )
@@ -54,6 +55,12 @@ type Options struct {
 	RefitEvery    int // refit GP hyperparameters every k iterations
 	Selection     SelectionMode
 	GPOpts        gp.Options
+	// Workers bounds the parallelism of the surrogate fit, the batched
+	// candidate screening, and the acquisition-maximiser restarts
+	// (0 = all CPUs, 1 = serial). The optimisation trace is bit-identical
+	// for every value; workers change only the wall-clock. When
+	// GPOpts.Workers is zero it inherits this bound.
+	Workers int
 }
 
 // DefaultOptions mirror §4.3.2: UCB1.96, N=50, k=500, n=1, all three
@@ -187,12 +194,17 @@ func Minimize(f func([]float64) float64, bounds heuristic.Bounds, budget int, op
 		}
 	}
 
-	var model *gp.GP
+	pool := evalpool.New(opts.Workers)
 	warm := opts.GPOpts
+	if warm.Workers == 0 {
+		warm.Workers = pool.Workers()
+	}
+	var model *gp.GP
 	for it := 0; budget-len(Y) > 0; it++ {
 		// 1. Fit/refit the surrogate.
 		refit := opts.RefitEvery <= 1 || it%opts.RefitEvery == 0 || model == nil
-		if refit {
+		switch {
+		case refit:
 			o := warm
 			if model != nil {
 				o.WarmLS, o.WarmSigF, o.WarmNoise = model.LS, model.SigF, model.Noise
@@ -202,12 +214,22 @@ func Minimize(f func([]float64) float64, bounds heuristic.Bounds, budget int, op
 			if err != nil {
 				return nil, fmt.Errorf("aibo: GP fit failed: %w", err)
 			}
-		} else {
-			var err error
+		case len(X) == len(model.X)+1:
+			// Non-refit iterations add exactly one observation: absorb it
+			// with the O(n²) incremental update instead of an O(n³)
+			// hyperparameter-frozen refit. Append consumes no randomness
+			// (neither did the frozen refit), so the rng stream is unchanged.
+			if err := model.Append(X[len(X)-1], Y[len(Y)-1]); err != nil {
+				return nil, fmt.Errorf("aibo: GP append failed: %w", err)
+			}
+		default:
+			// Defensive: the history advanced by more than one point, which
+			// this loop never does on its own — frozen warm refit.
 			o := warm
 			o.AdamSteps = 0
 			o.Restarts = 1
 			o.WarmLS, o.WarmSigF, o.WarmNoise = model.LS, model.SigF, model.Noise
+			var err error
 			model, err = gp.Fit(X, Y, o, rng)
 			if err != nil {
 				return nil, fmt.Errorf("aibo: GP update failed: %w", err)
@@ -216,48 +238,39 @@ func Minimize(f func([]float64) float64, bounds heuristic.Bounds, budget int, op
 		bestT := model.TransformY(res.BestY)
 		cfg := acq.Config{Kind: opts.AF, Beta: opts.Beta, Best: bestT}
 
-		// 2. Per-strategy: generate, screen, maximise.
+		// 2. Per-strategy: generate and screen; then maximise the surviving
+		// restarts of every strategy in one fan-out.
 		diag := IterDiag{AF: map[Strategy]float64{}, Mu: map[Strategy]float64{}, Sigma: map[Strategy]float64{}}
 		type cand struct {
 			x  []float64
 			af float64
 			s  Strategy
 		}
-		var finals []cand
+		var startStrat []Strategy
+		var starts [][]float64
 		for _, s := range strats {
 			raw := s.opt.Ask(opts.RawCandidates)
-			// Screen by AF value; keep top n.
-			type scored struct {
-				x  []float64
-				af float64
+			for _, x := range screenTop(model, cfg, raw, opts.TopN) {
+				startStrat = append(startStrat, s.name)
+				starts = append(starts, x)
 			}
-			top := make([]scored, 0, opts.TopN)
-			for _, x := range raw {
-				v := cfg.Value(model, x)
-				if len(top) < opts.TopN {
-					top = append(top, scored{x, v})
-					continue
-				}
-				// Replace the weakest member if better.
-				wi, wv := 0, math.Inf(1)
-				for i2, t2 := range top {
-					if t2.af < wv {
-						wi, wv = i2, t2.af
-					}
-				}
-				if v > wv {
-					top[wi] = scored{x, v}
-				}
-			}
-			// Every maximised restart joins the candidate pool (so the
-			// Fig 4.3 selection-mode comparison sees the whole pool);
-			// per-strategy diagnostics track the best restart.
+		}
+		if len(starts) == 0 {
+			return nil, errors.New("aibo: no candidates generated")
+		}
+		// Every maximised restart joins the candidate pool (so the Fig 4.3
+		// selection-mode comparison sees the whole pool); per-strategy
+		// diagnostics track the best restart.
+		maxX, maxV := maximizeBatch(model, cfg, unitBox, starts, opts.GradSteps, opts.GradLR, pool)
+		finals := make([]cand, len(starts))
+		for i := range starts {
+			finals[i] = cand{x: maxX[i], af: maxV[i], s: startStrat[i]}
+		}
+		for _, s := range strats {
 			bestLocal := cand{s: s.name, af: math.Inf(-1)}
-			for _, t2 := range top {
-				x, v := maximizeFrom(model, cfg, unitBox, t2.x, opts.GradSteps, opts.GradLR)
-				finals = append(finals, cand{x: x, af: v, s: s.name})
-				if v > bestLocal.af {
-					bestLocal = cand{x: x, af: v, s: s.name}
+			for _, c := range finals {
+				if c.s == s.name && c.af > bestLocal.af {
+					bestLocal = c
 				}
 			}
 			if bestLocal.x != nil {
@@ -266,9 +279,6 @@ func Minimize(f func([]float64) float64, bounds heuristic.Bounds, budget int, op
 				diag.Mu[s.name] = mu
 				diag.Sigma[s.name] = sig
 			}
-		}
-		if len(finals) == 0 {
-			return nil, errors.New("aibo: no candidates generated")
 		}
 
 		// 3. Select the next query point.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/acq"
+	"repro/internal/evalpool"
 	"repro/internal/gp"
 	"repro/internal/heuristic"
 )
@@ -25,6 +26,10 @@ type TuRBOOptions struct {
 	GPOpts       gp.Options
 	RefitEvery   int
 	MaxGPHistory int // fit on the most recent points only (local model)
+	// Workers bounds the surrogate's parallelism (0 = all CPUs, 1 = serial);
+	// the trace is bit-identical for every value. When GPOpts.Workers is
+	// zero it inherits this bound.
+	Workers int
 }
 
 // DefaultTuRBOOptions mirror the reference implementation's shape.
@@ -76,27 +81,43 @@ func TuRBOMinimize(f func([]float64) float64, bounds heuristic.Bounds, budget in
 		observe(unit.Sample(rng))
 	}
 
+	gpo := opts.GPOpts
+	if gpo.Workers == 0 {
+		gpo.Workers = evalpool.New(opts.Workers).Workers()
+	}
 	length := opts.LenInit
 	succ, fail := 0, 0
+	prevLo := -1
 	var model *gp.GP
 	for it := 0; len(Y) < budget; it++ {
 		lo := len(X) - opts.MaxGPHistory
 		if lo < 0 {
 			lo = 0
 		}
-		o := opts.GPOpts
-		if model != nil {
-			o.WarmLS, o.WarmSigF, o.WarmNoise = model.LS, model.SigF, model.Noise
-			if opts.RefitEvery > 1 && it%opts.RefitEvery != 0 {
-				o.AdamSteps = 0
-				o.Restarts = 1
+		nonRefit := model != nil && opts.RefitEvery > 1 && it%opts.RefitEvery != 0
+		if nonRefit && lo == prevLo && len(X)-lo == len(model.X)+1 {
+			// The sliding window kept its left edge and gained exactly one
+			// observation: extend the factor incrementally instead of the
+			// O(n³) frozen refit. Neither path draws randomness.
+			if err := model.Append(X[len(X)-1], Y[len(Y)-1]); err != nil {
+				return nil, err
+			}
+		} else {
+			o := gpo
+			if model != nil {
+				o.WarmLS, o.WarmSigF, o.WarmNoise = model.LS, model.SigF, model.Noise
+				if nonRefit {
+					o.AdamSteps = 0
+					o.Restarts = 1
+				}
+			}
+			var err error
+			model, err = gp.Fit(X[lo:], Y[lo:], o, rng)
+			if err != nil {
+				return nil, err
 			}
 		}
-		var err error
-		model, err = gp.Fit(X[lo:], Y[lo:], o, rng)
-		if err != nil {
-			return nil, err
-		}
+		prevLo = lo
 		cfg := acq.Config{Kind: acq.UCB, Beta: opts.Beta, Best: model.TransformY(res.BestY)}
 
 		// Trust region around the incumbent, scaled per-dim by the model's
@@ -106,8 +127,11 @@ func TuRBOMinimize(f func([]float64) float64, bounds heuristic.Bounds, budget in
 			meanLS += l
 		}
 		meanLS /= float64(len(model.LS))
-		bestX, bestV := []float64(nil), math.Inf(-1)
-		for c := 0; c < opts.Candidates; c++ {
+		// Draw the whole candidate pool first (the rng stream is the same as
+		// scoring each draw immediately), then score it with one batched
+		// posterior evaluation.
+		cands := make([][]float64, opts.Candidates)
+		for c := range cands {
 			u := make([]float64, d)
 			for i := 0; i < d; i++ {
 				w := length * model.LS[i] / meanLS
@@ -118,8 +142,14 @@ func TuRBOMinimize(f func([]float64) float64, bounds heuristic.Bounds, budget in
 				hi2 := math.Min(1, bestU[i]+w/2)
 				u[i] = lo2 + rng.Float64()*(hi2-lo2)
 			}
-			v := cfg.Value(model, u)
-			if v > bestV {
+			cands[c] = u
+		}
+		mu := make([]float64, len(cands))
+		sig := make([]float64, len(cands))
+		model.PredictBatch(cands, mu, sig)
+		bestX, bestV := []float64(nil), math.Inf(-1)
+		for c, u := range cands {
+			if v := cfg.FromPosterior(mu[c], sig[c]); v > bestV {
 				bestV, bestX = v, u
 			}
 		}

@@ -135,6 +135,11 @@ type RuntimeBreakdown struct {
 	Total    time.Duration
 	Measures int
 	Compiles int
+	// GPFits/GPAppends count the surrogate updates behind the GPFit wall
+	// time: full O(n³) (re)fits vs O(n²) incremental appends absorbed on
+	// non-refit iterations.
+	GPFits    int
+	GPAppends int
 	// CacheHits/CacheMisses count compiled-module cache lookups when the
 	// Task's evaluator memoises builds (zero otherwise): hits are pipeline
 	// executions the incumbent-reuse cache saved.
@@ -235,6 +240,7 @@ type Tuner struct {
 	// (experiment repeats) keeps global totals, while Breakdown reports
 	// this run's deltas.
 	mMeas0, mComp0 int64
+	mGPApp         *obs.Counter
 	gBest          *obs.Gauge
 	hGPFit         *obs.Histogram
 	hAcq           *obs.Histogram
@@ -271,13 +277,19 @@ func NewTuner(task Task, opts Options, seed int64) *Tuner {
 		mComp:    met.Counter("citroen_compilations_total"),
 		mSaved:   met.Counter("citroen_saved_measurements_total"),
 		mDup:     met.Counter("citroen_candidate_dups_total"),
+		mGPApp:   met.Counter("citroen_gp_append_total"),
 		gBest:    met.Gauge("citroen_incumbent_speedup"),
 		hGPFit:   met.Histogram("citroen_gp_fit_seconds", obs.DurationBuckets),
-		hAcq:     met.Histogram("citroen_acq_max_seconds", obs.DurationBuckets),
+		hAcq:     met.Histogram("citroen_acq_maximize_seconds", obs.DurationBuckets),
 		hCompile: met.Histogram("citroen_candidate_compile_seconds", obs.DurationBuckets),
 		hMeasure: met.Histogram("citroen_measure_seconds", obs.DurationBuckets),
 	}
 	t.mMeas0, t.mComp0 = t.mMeas.Value(), t.mComp.Value()
+	if t.opts.GPOpts.Workers == 0 {
+		// -workers drives the surrogate too: parallel fit restarts, sharded
+		// gradients and batched prediction, all bit-identical to serial.
+		t.opts.GPOpts.Workers = t.pool.Workers()
+	}
 	t.pool.Instrument(met)
 	return t
 }
@@ -641,17 +653,43 @@ func (t *Tuner) recordObservation(fv map[string]sparseVec, y float64) {
 	t.measCut[t.programKey(fv)] = y
 }
 
-// fitModel (re)fits the GP on the observations.
+// fitModel updates the GP for this iteration: a full (re)fit when
+// hyperparameter tuning is due, the model is missing, or the feature space
+// grew; otherwise the single new observation — non-refit iterations add at
+// most one — is absorbed by the O(n²) incremental Append. Neither path draws
+// from t.rng on non-refit iterations, so swapping the old frozen refit for
+// Append leaves the tuner's random stream untouched.
 func (t *Tuner) fitModel(iter int) error {
 	if len(t.Y) < 2 {
 		return nil
 	}
+	nonRefit := t.opts.RefitEvery > 1 && iter%t.opts.RefitEvery != 0 && t.model != nil
 	tStart := time.Now()
+	if nonRefit && len(t.model.LS) == t.fi.Dim() {
+		switch len(t.Y) - len(t.model.X) {
+		case 0:
+			// Nothing measured since the last update (failed builds or
+			// duplicate reuse): the posterior is already current.
+			return nil
+		case 1:
+			if err := t.model.Append(t.X[len(t.X)-1], t.Y[len(t.Y)-1]); err == nil {
+				wall := time.Since(tStart)
+				t.res.Breakdown.GPFit += wall
+				t.res.Breakdown.GPAppends++
+				t.mGPApp.Inc()
+				t.hGPFit.Observe(wall.Seconds())
+				t.rec.GPFit(t.curSpan, len(t.Y), t.fi.Dim(), true, wall)
+				return nil
+			}
+			// The bordered update could not recover — fall through to the
+			// full warm fit, which can also inflate the noise.
+		}
+	}
 	o := t.opts.GPOpts
 	if t.model != nil && len(t.model.LS) == t.fi.Dim() {
 		o.WarmLS, o.WarmSigF, o.WarmNoise = t.model.LS, t.model.SigF, t.model.Noise
 	}
-	if t.opts.RefitEvery > 1 && iter%t.opts.RefitEvery != 0 && t.model != nil {
+	if nonRefit {
 		o.AdamSteps = 0
 		o.Restarts = 1
 	}
@@ -662,8 +700,9 @@ func (t *Tuner) fitModel(iter int) error {
 	t.model = m
 	wall := time.Since(tStart)
 	t.res.Breakdown.GPFit += wall
+	t.res.Breakdown.GPFits++
 	t.hGPFit.Observe(wall.Seconds())
-	t.rec.GPFit(t.curSpan, len(t.Y), t.fi.Dim(), wall)
+	t.rec.GPFit(t.curSpan, len(t.Y), t.fi.Dim(), false, wall)
 	return nil
 }
 
@@ -808,9 +847,10 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 		j.ok = true
 	})
 
-	// Phase 3 (serial): score in submit order. The model-free acquisition
-	// draw (t.rng.Float64()) and the feature-index growth inside
-	// denseProgram both live here, outside the parallel region.
+	// Phase 3 (serial): account, then score, in submit order. The journal
+	// events, counters, the model-free acquisition draw (t.rng.Float64())
+	// and the feature-index growth inside denseProgram all live here,
+	// outside the parallel region.
 	bestY := t.bestObservedY()
 	cfg := acq.Config{Kind: acq.UCB, Beta: t.opts.Beta}
 	if t.model != nil {
@@ -818,8 +858,8 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 	}
 	cov := acq.Coverage{Base: cfg, Gamma: t.opts.CoverageGamma, DupPenalty: t.opts.DupPenalty}
 
-	best := candidate{af: math.Inf(-1)}
-	var bestFV map[string]sparseVec
+	progs := make([]map[string]sparseVec, len(jobs))
+	dups := make([]bool, len(jobs))
 	for i := range jobs {
 		j := &jobs[i]
 		t.candsCompiled++
@@ -833,26 +873,64 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 			continue
 		}
 		prog := t.programFeatures(map[string]sparseVec{j.ms.name: j.fv})
-		dup := false
+		progs[i] = prog
 		if _, seenBefore := t.measCut[t.programKey(prog)]; seenBefore {
-			dup = true
+			dups[i] = true
 			t.candsDup++
 			t.mDup.Inc()
 		}
-		var af float64
+	}
+
+	// One batched posterior evaluation over the surviving candidates: each
+	// dense feature vector is padded or truncated to the model's training
+	// width (new dims appear mid-run), and the whole pool shares blocked
+	// multi-RHS triangular solves instead of one solve per candidate. The
+	// results are bit-identical to per-candidate PredictTransformed calls.
+	af := make([]float64, len(jobs))
+	if t.model != nil {
+		d := len(t.model.LS)
+		xs := make([][]float64, 0, len(jobs))
+		cols := make([]int, 0, len(jobs))
+		for i := range jobs {
+			if progs[i] == nil {
+				continue
+			}
+			x := t.denseProgram(progs[i])
+			if len(x) > d {
+				x = x[:d]
+			} else if len(x) < d {
+				nx := make([]float64, d)
+				copy(nx, x)
+				x = nx
+			}
+			xs = append(xs, x)
+			cols = append(cols, i)
+		}
+		mu := make([]float64, len(xs))
+		sig := make([]float64, len(xs))
+		t.model.PredictBatch(xs, mu, sig)
+		for b, i := range cols {
+			af[i] = cfg.FromPosterior(mu[b], sig[b])
+		}
+	}
+
+	best := candidate{af: math.Inf(-1)}
+	var bestFV map[string]sparseVec
+	for i := range jobs {
+		j := &jobs[i]
+		if progs[i] == nil {
+			continue
+		}
+		v := af[i]
 		if t.model == nil {
-			af = t.rng.Float64()
-		} else {
-			x := t.denseProgram(prog)
-			mu, sig := t.predictPadded(x)
-			af = cfg.FromPosterior(mu, sig)
+			v = t.rng.Float64()
 		}
 		if t.opts.CoverageAF {
-			af = cov.Score(af, j.fv.novelDims(t.seen, j.ms.name+"|"), dup)
+			v = cov.Score(v, j.fv.novelDims(t.seen, j.ms.name+"|"), dups[i])
 		}
-		if af > best.af {
-			best = candidate{ms: j.ms, seq: j.seq, af: af, fv: j.fv, dup: dup}
-			bestFV = prog
+		if v > best.af {
+			best = candidate{ms: j.ms, seq: j.seq, af: v, fv: j.fv, dup: dups[i]}
+			bestFV = progs[i]
 		}
 	}
 	if best.ms == nil {
@@ -864,20 +942,6 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 	}
 	t.rec.AcqMax(t.curSpan, len(jobs), best.ms.name, best.af, best.dup, novel, time.Since(tAcq))
 	return best, bestFV, true
-}
-
-// predictPadded evaluates the model at x even when the model was trained at
-// a lower dimensionality (new feature dims appeared since the last fit).
-func (t *Tuner) predictPadded(x []float64) (float64, float64) {
-	d := len(t.model.LS)
-	if len(x) > d {
-		x = x[:d]
-	} else if len(x) < d {
-		nx := make([]float64, d)
-		copy(nx, x)
-		x = nx
-	}
-	return t.model.PredictTransformed(x)
 }
 
 func (t *Tuner) bestObservedY() float64 {
@@ -991,6 +1055,7 @@ func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]
 			saved, replayed, bytes, evictions := ps.PrefixCounters()
 			t.rec.PrefixCache(t.curSpan, saved, replayed, bytes, evictions)
 		}
+		t.rec.GPStats(t.curSpan, t.res.Breakdown.GPFits, t.res.Breakdown.GPAppends)
 	}
 	return true
 }
@@ -1045,6 +1110,7 @@ func (t *Tuner) finalize(start time.Time) {
 			"novel_selections":   t.res.NovelSelections,
 			"candidate_dup_rate": t.res.CandidateDupRate,
 			"cache_hits":         bd.CacheHits, "cache_misses": bd.CacheMisses,
+			"gp_fits":            bd.GPFits, "gp_appends": bd.GPAppends,
 			"prefix_saved_passes":    bd.PrefixSavedPasses,
 			"prefix_replayed_passes": bd.PrefixReplayedPasses,
 			"prefix_snapshot_bytes":  bd.PrefixSnapshotBytes,

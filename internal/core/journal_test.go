@@ -39,6 +39,21 @@ func TestJournalWorkerDeterminism(t *testing.T) {
 	if resS.BestSpeedup != resP.BestSpeedup {
 		t.Fatalf("best speedup differs: %v vs %v", resS.BestSpeedup, resP.BestSpeedup)
 	}
+	// The parallel surrogate must actually take the incremental path, and
+	// journal it at the serial sync points.
+	if resS.Breakdown.GPAppends == 0 {
+		t.Fatal("no incremental GP appends recorded (RefitEvery > 1 should produce some)")
+	}
+	sawGPStats := false
+	for i := range evS {
+		if evS[i].Type == "gp-stats" {
+			sawGPStats = true
+			break
+		}
+	}
+	if !sawGPStats {
+		t.Fatal("journal missing gp-stats events")
+	}
 }
 
 // The final new-incumbent event of a run must match Result.BestSpeedup, and
@@ -65,7 +80,7 @@ func TestJournalFinalIncumbentMatchesResult(t *testing.T) {
 			runEnd = e
 		}
 	}
-	for _, typ := range []string{"run-start", "candidate-generated", "compile", "gp-fit", "acq-max", "measure", "new-incumbent", "run-end"} {
+	for _, typ := range []string{"run-start", "candidate-generated", "compile", "gp-fit", "gp-stats", "acq-max", "measure", "new-incumbent", "run-end"} {
 		if !seenTypes[typ] {
 			t.Fatalf("journal missing %q events (saw %v)", typ, seenTypes)
 		}

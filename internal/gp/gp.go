@@ -39,6 +39,15 @@ type Options struct {
 	WarmNoise   float64
 	Standardize bool // standardise Y internally (recommended)
 	PowerTransf bool // Yeo-Johnson transform Y before standardising
+
+	// Workers bounds the parallelism of fitting (hyperparameter restarts,
+	// sharded kernel-matrix and LML-gradient evaluation) and of PredictBatch.
+	// 0 or 1 runs serially. Results are bit-identical for every value: work
+	// is partitioned into fixed-size shards whose boundaries depend only on
+	// the problem size, per-shard partial results are reduced in shard order,
+	// restart initialisations are drawn from the rng serially before the
+	// fan-out, and the restart winner is chosen by (LML, restart index).
+	Workers int
 }
 
 // DefaultOptions mirror the paper's settings (§4.3.2): Matérn-5/2 ARD,
@@ -60,14 +69,31 @@ type GP struct {
 	Noise float64   // noise variance
 
 	y      []float64 // transformed, standardised targets
+	rawY   []float64 // original-unit targets (Append refits the transform)
 	std    numeric.Standardizer
 	lambda float64 // Yeo-Johnson lambda (1 => identity)
 	usedYJ bool
 
-	chol  *numeric.Matrix
-	alpha []float64
-	lml   float64
+	chol   *numeric.Matrix
+	alpha  []float64
+	lml    float64
+	jitter float64     // diagonal jitter added by the last factorisation
+	sx     [][]float64 // inputs pre-divided by LS (one division per element,
+	// not per pair); every hot kernel path derives r2 from these, keeping
+	// single, batched and appended evaluations bit-identical to each other
+
+	opts            Options // fitting options, kept for Append
+	workers         int
+	refactorization int       // Append calls that fell back to a full refactorize
+	scrK            []float64 // kernel-column scratch for Append
 }
+
+// Workers returns the worker bound the model was fitted with.
+func (g *GP) Workers() int { return g.workers }
+
+// Refactorized reports how many Append calls hit the jitter-recovery path
+// (a full refactorisation instead of the O(n²) rank-1 extension).
+func (g *GP) Refactorized() int { return g.refactorization }
 
 // ErrNoData is returned when fitting with fewer than two points.
 var ErrNoData = errors.New("gp: need at least 2 observations")
@@ -104,16 +130,15 @@ func Fit(X [][]float64, Y []float64, opts Options, rng *rand.Rand) (*GP, error) 
 		}
 	}
 
-	g := &GP{Kind: opts.Kernel, X: X, y: ty, std: std, lambda: lambda, usedYJ: usedYJ}
+	workers := opts.Workers
+	g := &GP{
+		Kind: opts.Kernel, X: X, y: ty, std: std, lambda: lambda, usedYJ: usedYJ,
+		rawY: append([]float64(nil), Y...), opts: opts, workers: workers,
+	}
 
 	// Hyperparameter optimisation over log parameters.
-	type theta struct {
-		ls    []float64
-		sigf  float64
-		noise float64
-	}
-	mkInit := func(r int) theta {
-		t := theta{ls: make([]float64, d), sigf: 1, noise: 1e-3}
+	mkInit := func(r int) hypers {
+		t := hypers{ls: make([]float64, d), sigf: 1, noise: 1e-3}
 		for i := range t.ls {
 			t.ls[i] = 0.5
 		}
@@ -134,26 +159,45 @@ func Fit(X [][]float64, Y []float64, opts Options, rng *rand.Rand) (*GP, error) 
 		return t
 	}
 
-	best := math.Inf(-1)
-	var bestT theta
 	restarts := opts.Restarts
 	if restarts < 1 {
 		restarts = 1
 	}
-	for r := 0; r < restarts; r++ {
-		t := mkInit(r)
-		t = adamOptimize(g, t.ls, t.sigf, t.noise, opts)
-		lml, ok := g.computeLML(t.ls, t.sigf, t.noise)
-		if ok && lml > best {
-			best = lml
-			bestT = t
+	// Draw every restart initialisation from the rng serially, in restart
+	// order, so the stream of random numbers consumed is identical to a
+	// serial fit; the optimisation itself is rng-free and fans out below.
+	inits := make([]hypers, restarts)
+	for r := range inits {
+		inits[r] = mkInit(r)
+	}
+	type restartOut struct {
+		t   hypers
+		lml float64
+		ok  bool
+	}
+	outs := make([]restartOut, restarts)
+	numeric.ParallelFor(workers, restarts, func(r int) {
+		sc := newGradScratch(n, d)
+		t := adamOptimize(g, inits[r], opts, sc, workers)
+		lml, ok := g.computeLML(t.ls, t.sigf, t.noise, workers)
+		outs[r] = restartOut{t: t, lml: lml, ok: ok}
+	})
+	// Scanning the results in restart order with a strict > makes the winner
+	// the (highest LML, lowest restart index) pair regardless of which
+	// goroutine finished first.
+	best := math.Inf(-1)
+	var bestT hypers
+	for _, o := range outs {
+		if o.ok && o.lml > best {
+			best = o.lml
+			bestT = o.t
 		}
 	}
 	if math.IsInf(best, -1) {
 		// Fall back to defaults with inflated noise.
 		bestT = mkInit(0)
 		bestT.noise = opts.NoiseCeil
-		lml, ok := g.computeLML(bestT.ls, bestT.sigf, bestT.noise)
+		lml, ok := g.computeLML(bestT.ls, bestT.sigf, bestT.noise, workers)
 		if !ok {
 			return nil, errors.New("gp: covariance not positive definite")
 		}
@@ -167,17 +211,28 @@ func Fit(X [][]float64, Y []float64, opts Options, rng *rand.Rand) (*GP, error) 
 	return g, nil
 }
 
+// hypers is one point in hyperparameter space.
+type hypers struct {
+	ls    []float64
+	sigf  float64
+	noise float64
+}
+
 // LML returns the log marginal likelihood at the fitted hyperparameters.
 func (g *GP) LML() float64 { return g.lml }
 
-// kernelVal computes k(a,b) plus, optionally, the per-dimension scaled
-// squared distances (for gradients).
+// kernelVal computes k(a,b).
 func kernelVal(kind KernelKind, a, b, ls []float64, sigf float64) float64 {
 	r2 := 0.0
 	for i := range a {
 		dx := (a[i] - b[i]) / ls[i]
 		r2 += dx * dx
 	}
+	return kernelFromR2(kind, r2, sigf)
+}
+
+// kernelFromR2 evaluates the kernel given the scaled squared distance.
+func kernelFromR2(kind KernelKind, r2, sigf float64) float64 {
 	switch kind {
 	case RBF:
 		return sigf * math.Exp(-0.5*r2)
@@ -188,24 +243,77 @@ func kernelVal(kind KernelKind, a, b, ls []float64, sigf float64) float64 {
 	}
 }
 
-// buildK fills the kernel matrix for the training inputs.
-func (g *GP) buildK(ls []float64, sigf, noise float64) *numeric.Matrix {
-	n := len(g.X)
-	K := numeric.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			v := kernelVal(g.Kind, g.X[i], g.X[j], ls, sigf)
-			K.Set(i, j, v)
-			K.Set(j, i, v)
+// scaleInputs divides every coordinate of the rows by the matching length
+// scale, one division per element instead of one per pair in the kernel
+// loops downstream.
+func scaleInputs(rows [][]float64, ls []float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	flat := make([]float64, len(rows)*len(ls))
+	for i, x := range rows {
+		sx := flat[i*len(ls) : (i+1)*len(ls)]
+		for dd := range sx {
+			sx[dd] = x[dd] / ls[dd]
 		}
+		out[i] = sx
 	}
+	return out
+}
+
+// scaledR2 returns the squared distance between two pre-scaled points.
+func scaledR2(sa, sb []float64) float64 {
+	r2 := 0.0
+	for dd := range sa {
+		dx := sa[dd] - sb[dd]
+		r2 += dx * dx
+	}
+	return r2
+}
+
+// buildKInto fills K with the kernel matrix for the training inputs and, when
+// r2m is non-nil, stores the scaled squared distances of the lower triangle
+// so the gradient loop can reuse them instead of recomputing every pair.
+// Rows are processed in fixed-size shards: phase one computes the lower
+// triangle (each shard writes only its own rows), phase two mirrors it to the
+// upper triangle after a barrier. No shard ever reduces across another
+// shard's rows, so the result is bit-identical for every worker count.
+func (g *GP) buildKInto(K, r2m *numeric.Matrix, sx [][]float64, sigf, noise float64, workers int) {
+	n := len(g.X)
+	kind := g.Kind
+	shards := numeric.NumShards(n)
+	numeric.ParallelFor(workers, shards, func(s int) {
+		lo, hi := numeric.ShardBounds(n, s)
+		for i := lo; i < hi; i++ {
+			sxi := sx[i]
+			ki := K.Row(i)
+			var r2row []float64
+			if r2m != nil {
+				r2row = r2m.Row(i)
+			}
+			for j := 0; j <= i; j++ {
+				r2 := scaledR2(sxi, sx[j])
+				ki[j] = kernelFromR2(kind, r2, sigf)
+				if r2row != nil {
+					r2row[j] = r2
+				}
+			}
+		}
+	})
+	numeric.ParallelFor(workers, shards, func(s int) {
+		lo, hi := numeric.ShardBounds(n, s)
+		for i := lo; i < hi; i++ {
+			ki := K.Row(i)
+			for j := i + 1; j < n; j++ {
+				ki[j] = K.At(j, i)
+			}
+		}
+	})
 	K.AddDiag(noise)
-	return K
 }
 
 // computeLML evaluates the log marginal likelihood.
-func (g *GP) computeLML(ls []float64, sigf, noise float64) (float64, bool) {
-	K := g.buildK(ls, sigf, noise)
+func (g *GP) computeLML(ls []float64, sigf, noise float64, workers int) (float64, bool) {
+	K := numeric.NewMatrix(len(g.X), len(g.X))
+	g.buildKInto(K, nil, scaleInputs(g.X, ls), sigf, noise, workers)
 	L, _, err := numeric.CholeskyWithJitter(K, 1e-10, 6)
 	if err != nil {
 		return 0, false
@@ -219,65 +327,111 @@ func (g *GP) computeLML(ls []float64, sigf, noise float64) (float64, bool) {
 	return lml, true
 }
 
+// gradScratch owns the buffers one lmlGrad evaluation needs. A scratch is
+// reused across the Adam steps of a single restart; each restart allocates
+// its own, so concurrent restarts never share buffers.
+type gradScratch struct {
+	K, R2   *numeric.Matrix // kernel matrix and shared squared distances
+	L, Kinv *numeric.Matrix
+	alpha   []float64
+	partial [][]float64 // per-shard partial gradients, reduced in shard order
+	grad    []float64
+}
+
+func newGradScratch(n, d int) *gradScratch {
+	sc := &gradScratch{
+		K:       numeric.NewMatrix(n, n),
+		R2:      numeric.NewMatrix(n, n),
+		L:       numeric.NewMatrix(n, n),
+		Kinv:    numeric.NewMatrix(n, n),
+		alpha:   make([]float64, n),
+		grad:    make([]float64, d+2),
+		partial: make([][]float64, numeric.NumShards(n)),
+	}
+	for s := range sc.partial {
+		sc.partial[s] = make([]float64, d+2)
+	}
+	return sc
+}
+
 // lmlGrad returns the LML and its gradient w.r.t. (log ls_d..., log sigf,
-// log noise).
-func (g *GP) lmlGrad(ls []float64, sigf, noise float64) (float64, []float64, bool) {
+// log noise). The returned slice aliases sc.grad and is valid until the next
+// call with the same scratch. The pair loop reuses the squared distances that
+// buildKInto already computed (sc.R2) instead of re-deriving them per pair,
+// and is sharded by rows with per-shard partial gradients that are reduced
+// in fixed shard order — bit-identical for every worker count.
+func (g *GP) lmlGrad(ls []float64, sigf, noise float64, sc *gradScratch, workers int) (float64, []float64, bool) {
 	n := len(g.X)
 	d := len(ls)
-	K := g.buildK(ls, sigf, noise)
-	L, _, err := numeric.CholeskyWithJitter(K, 1e-10, 6)
-	if err != nil {
+	sx := scaleInputs(g.X, ls)
+	g.buildKInto(sc.K, sc.R2, sx, sigf, noise, workers)
+	if _, err := numeric.CholeskyWithJitterInto(sc.L, sc.K, 1e-10, 6); err != nil {
 		return 0, nil, false
 	}
-	alpha := numeric.CholSolve(L, g.y)
+	numeric.CholSolveInto(sc.L, g.y, sc.alpha)
 	// A = alpha alpha^T - K^{-1}; we need tr(A dK/dθ) terms. Compute Kinv
-	// once (n^2 solves -> n^3, acceptable at our sizes).
-	eye := numeric.NewMatrix(n, n)
-	eye.AddDiag(1)
-	Kinv := numeric.CholSolveMatrix(L, eye)
+	// once (n independent column solves, sharded across workers).
+	numeric.CholInverseInto(sc.L, sc.Kinv, workers)
+	alpha := sc.alpha
 
-	lml := -0.5*numeric.Dot(g.y, alpha) - 0.5*numeric.LogDetFromChol(L) - 0.5*float64(n)*math.Log(2*math.Pi)
-	grad := make([]float64, d+2)
+	lml := -0.5*numeric.Dot(g.y, alpha) - 0.5*numeric.LogDetFromChol(sc.L) - 0.5*float64(n)*math.Log(2*math.Pi)
 	sqrt5 := math.Sqrt(5)
-
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			aij := alpha[i]*alpha[j] - Kinv.At(i, j)
-			w := 1.0
-			if i != j {
-				w = 2.0 // symmetric off-diagonal contributes twice
+	kind := g.Kind
+	shards := numeric.NumShards(n)
+	numeric.ParallelFor(workers, shards, func(s int) {
+		part := sc.partial[s]
+		for c := range part {
+			part[c] = 0
+		}
+		lo, hi := numeric.ShardBounds(n, s)
+		for i := lo; i < hi; i++ {
+			sxi := sx[i]
+			ai := alpha[i]
+			r2row := sc.R2.Row(i)
+			kinvRow := sc.Kinv.Row(i)
+			for j := 0; j <= i; j++ {
+				aij := ai*alpha[j] - kinvRow[j]
+				w := 1.0
+				if i != j {
+					w = 2.0 // symmetric off-diagonal contributes twice
+				}
+				r2 := r2row[j]
+				var kval, dkdr2 float64
+				switch kind {
+				case RBF:
+					e := math.Exp(-0.5 * r2)
+					kval = sigf * e
+					dkdr2 = -0.5 * kval
+				default:
+					r := math.Sqrt(r2)
+					e := math.Exp(-sqrt5 * r)
+					kval = sigf * (1 + sqrt5*r + 5.0/3.0*r2) * e
+					// dk/dr2 = sigf * e * (-5/6)(1 + sqrt5 r)
+					dkdr2 = -sigf * e * (5.0 / 6.0) * (1 + sqrt5*r)
+				}
+				sxj := sx[j]
+				// d r2 / d log ls_dd = -2 (dx_dd)^2
+				for dd := 0; dd < d; dd++ {
+					dx := sxi[dd] - sxj[dd]
+					dK := dkdr2 * (-2 * dx * dx)
+					part[dd] += 0.5 * w * aij * dK
+				}
+				// d k / d log sigf = k
+				part[d] += 0.5 * w * aij * kval
+				if i == j {
+					// d K / d log noise = noise on the diagonal
+					part[d+1] += 0.5 * aij * noise
+				}
 			}
-			// Recompute kernel pieces for the pair.
-			r2 := 0.0
-			for dd := 0; dd < d; dd++ {
-				dx := (g.X[i][dd] - g.X[j][dd]) / ls[dd]
-				r2 += dx * dx
-			}
-			var kval, dkdr2 float64
-			switch g.Kind {
-			case RBF:
-				e := math.Exp(-0.5 * r2)
-				kval = sigf * e
-				dkdr2 = -0.5 * kval
-			default:
-				r := math.Sqrt(r2)
-				e := math.Exp(-sqrt5 * r)
-				kval = sigf * (1 + sqrt5*r + 5.0/3.0*r2) * e
-				// dk/dr2 = sigf * e * (-5/6)(1 + sqrt5 r)
-				dkdr2 = -sigf * e * (5.0 / 6.0) * (1 + sqrt5*r)
-			}
-			// d r2 / d log ls_dd = -2 (dx_dd)^2
-			for dd := 0; dd < d; dd++ {
-				dx := (g.X[i][dd] - g.X[j][dd]) / ls[dd]
-				dK := dkdr2 * (-2 * dx * dx)
-				grad[dd] += 0.5 * w * aij * dK
-			}
-			// d k / d log sigf = k
-			grad[d] += 0.5 * w * aij * kval
-			if i == j {
-				// d K / d log noise = noise on the diagonal
-				grad[d+1] += 0.5 * aij * noise
-			}
+		}
+	})
+	grad := sc.grad
+	for c := range grad {
+		grad[c] = 0
+	}
+	for s := 0; s < shards; s++ {
+		for c := range grad {
+			grad[c] += sc.partial[s][c]
 		}
 	}
 	if math.IsNaN(lml) {
@@ -287,21 +441,18 @@ func (g *GP) lmlGrad(ls []float64, sigf, noise float64) (float64, []float64, boo
 }
 
 // adamOptimize runs Adam ascent on the LML over log-parameters.
-func adamOptimize(g *GP, ls []float64, sigf, noise float64, opts Options) struct {
-	ls    []float64
-	sigf  float64
-	noise float64
-} {
-	d := len(ls)
+func adamOptimize(g *GP, init hypers, opts Options, sc *gradScratch, workers int) hypers {
+	d := len(init.ls)
 	theta := make([]float64, d+2)
-	for i, v := range ls {
+	for i, v := range init.ls {
 		theta[i] = math.Log(v)
 	}
-	theta[d] = math.Log(sigf)
-	theta[d+1] = math.Log(noise)
+	theta[d] = math.Log(init.sigf)
+	theta[d+1] = math.Log(init.noise)
 
 	m := make([]float64, d+2)
 	v := make([]float64, d+2)
+	curLS := make([]float64, d)
 	beta1, beta2, eps := 0.9, 0.999, 1e-8
 	clamp := func() {
 		for i := 0; i < d; i++ {
@@ -312,11 +463,10 @@ func adamOptimize(g *GP, ls []float64, sigf, noise float64, opts Options) struct
 	}
 	clamp()
 	for step := 1; step <= opts.AdamSteps; step++ {
-		curLS := make([]float64, d)
 		for i := range curLS {
 			curLS[i] = math.Exp(theta[i])
 		}
-		_, grad, ok := g.lmlGrad(curLS, math.Exp(theta[d]), math.Exp(theta[d+1]))
+		_, grad, ok := g.lmlGrad(curLS, math.Exp(theta[d]), math.Exp(theta[d+1]), sc, workers)
 		if !ok {
 			break
 		}
@@ -329,11 +479,7 @@ func adamOptimize(g *GP, ls []float64, sigf, noise float64, opts Options) struct
 		}
 		clamp()
 	}
-	out := struct {
-		ls    []float64
-		sigf  float64
-		noise float64
-	}{ls: make([]float64, d)}
+	out := hypers{ls: make([]float64, d)}
 	for i := range out.ls {
 		out.ls[i] = math.Exp(theta[i])
 	}
@@ -342,14 +488,20 @@ func adamOptimize(g *GP, ls []float64, sigf, noise float64, opts Options) struct
 	return out
 }
 
-// factorize caches the Cholesky factor and alpha for prediction.
+// factorize caches the Cholesky factor and alpha for prediction, recording
+// the jitter that was needed so Append can keep the bordered diagonal
+// consistent with the retained rows.
 func (g *GP) factorize() error {
-	K := g.buildK(g.LS, g.SigF, g.Noise)
-	L, _, err := numeric.CholeskyWithJitter(K, 1e-10, 8)
+	n := len(g.X)
+	K := numeric.NewMatrix(n, n)
+	g.sx = scaleInputs(g.X, g.LS)
+	g.buildKInto(K, nil, g.sx, g.SigF, g.Noise, g.workers)
+	L, added, err := numeric.CholeskyWithJitter(K, 1e-10, 8)
 	if err != nil {
 		return err
 	}
 	g.chol = L
+	g.jitter = added
 	g.alpha = numeric.CholSolve(L, g.y)
 	return nil
 }
@@ -370,19 +522,44 @@ func (g *GP) PredictTransformed(x []float64) (mu, sigma float64) {
 	return g.predictTransformed(x)
 }
 
-func (g *GP) predictTransformed(x []float64) (float64, float64) {
+// PredictScratch owns the buffers an allocation-free prediction needs. A
+// scratch may be reused across calls but never shared between goroutines.
+type PredictScratch struct {
+	k, v, sq []float64
+}
+
+// PredictInto is Predict with caller-owned scratch: after the first call with
+// a given scratch, no allocations happen on this path.
+func (g *GP) PredictInto(x []float64, s *PredictScratch) (mu, sigma float64) {
+	mu, sigma = g.PredictTransformedInto(x, s)
+	return g.InvertMean(mu), g.std.InvertScale(sigma)
+}
+
+// PredictTransformedInto is PredictTransformed with caller-owned scratch.
+func (g *GP) PredictTransformedInto(x []float64, s *PredictScratch) (mu, sigma float64) {
 	n := len(g.X)
-	k := make([]float64, n)
-	for i := 0; i < n; i++ {
-		k[i] = kernelVal(g.Kind, x, g.X[i], g.LS, g.SigF)
+	s.k = numeric.GrowFloats(s.k, n)
+	s.v = numeric.GrowFloats(s.v, n)
+	s.sq = numeric.GrowFloats(s.sq, len(x))
+	for dd := range x {
+		s.sq[dd] = x[dd] / g.LS[dd]
 	}
-	mu := numeric.Dot(k, g.alpha)
-	v := numeric.SolveLower(g.chol, k)
-	varf := g.SigF + g.Noise - numeric.Dot(v, v)
+	k := s.k
+	for i := 0; i < n; i++ {
+		k[i] = kernelFromR2(g.Kind, scaledR2(s.sq, g.sx[i]), g.SigF)
+	}
+	mu = numeric.Dot(k, g.alpha)
+	numeric.SolveLowerInto(g.chol, k, s.v)
+	varf := g.SigF + g.Noise - numeric.Dot(s.v, s.v)
 	if varf < 1e-12 {
 		varf = 1e-12
 	}
 	return mu, math.Sqrt(varf)
+}
+
+func (g *GP) predictTransformed(x []float64) (float64, float64) {
+	var s PredictScratch
+	return g.PredictTransformedInto(x, &s)
 }
 
 // TransformY maps an original-space observation into the model space (for

@@ -354,13 +354,26 @@ func (r *Recorder) Compile(parent int64, module string, seqLen int, seqHash uint
 	})
 }
 
-// GPFit records one cost-model (re)fit.
-func (r *Recorder) GPFit(parent int64, points, dim int, wall time.Duration) {
+// GPFit records one cost-model update: a full (re)fit, or an O(n²)
+// incremental append when appended is true.
+func (r *Recorder) GPFit(parent int64, points, dim int, appended bool, wall time.Duration) {
 	if r == nil {
 		return
 	}
 	r.emit("gp-fit", -1, parent, map[string]any{
-		"points": points, "dim": dim, "wall_ns": wall.Nanoseconds(),
+		"points": points, "dim": dim, "appended": appended, "wall_ns": wall.Nanoseconds(),
+	})
+}
+
+// GPStats records cumulative surrogate accounting at a serial
+// synchronisation point (after a measurement): full refits vs incremental
+// appends absorbed by the model.
+func (r *Recorder) GPStats(parent int64, fits, appends int) {
+	if r == nil {
+		return
+	}
+	r.emit("gp-stats", -1, parent, map[string]any{
+		"fits": fits, "appends": appends,
 	})
 }
 

@@ -34,7 +34,8 @@ func TestNilRecorderAllocationFree(t *testing.T) {
 		r.Iteration(1, 2, 3)
 		r.CandidateGenerated(1, "m", "ga", 10, 42)
 		r.Compile(1, "m", 10, 42, true, time.Second)
-		r.GPFit(1, 5, 7, time.Second)
+		r.GPFit(1, 5, 7, false, time.Second)
+		r.GPStats(1, 4, 9)
 		r.AcqMax(1, 9, "m", 0.5, false, 2, time.Second)
 		r.Measure(1, "m", 3, 100, 1.1, 1.2, true, false, time.Second)
 		r.CacheStats(1, 3, 4)

@@ -44,8 +44,12 @@ func (t *TextRenderer) Emit(e *Event) {
 		fmt.Fprintf(t.w, "  ** new incumbent: %.3fx (module %v, measurement %d)\n",
 			fieldFloat(f, "speedup"), f["module"], fieldInt(f, "measurement"))
 	case "gp-fit":
-		fmt.Fprintf(t.w, "  gp-fit: %d points, %d dims\n",
-			fieldInt(f, "points"), fieldInt(f, "dim"))
+		mode := "refit"
+		if fieldBool(f, "appended") {
+			mode = "append"
+		}
+		fmt.Fprintf(t.w, "  gp-fit: %d points, %d dims (%s)\n",
+			fieldInt(f, "points"), fieldInt(f, "dim"), mode)
 	case "run-end":
 		fmt.Fprintf(t.w, "run-end: best %.3fx, %d measurements, %d compilations\n",
 			fieldFloat(f, "best_speedup"), fieldInt(f, "measurements"), fieldInt(f, "compilations"))
