@@ -1,0 +1,116 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The greedy seeder measures statistics-informed plans before the random
+// design; since the incumbent only ever improves, a seeded run at equal
+// budget must match or beat the unseeded one on the deterministic synthetic
+// task.
+func TestSeedGreedyNeverWorsensIncumbent(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		run := func(seedGreedy bool) *Result {
+			o := fastOpts()
+			o.SeedGreedy = seedGreedy
+			res, err := NewTuner(newSyntheticTask(t), o, seed).Run()
+			if err != nil {
+				t.Fatalf("seed=%d greedy=%v: %v", seed, seedGreedy, err)
+			}
+			return res
+		}
+		plain := run(false)
+		seeded := run(true)
+		if len(seeded.Trace) != len(plain.Trace) {
+			t.Fatalf("seed=%d: budgets diverged: %d vs %d measurements",
+				seed, len(seeded.Trace), len(plain.Trace))
+		}
+		if seeded.BestSpeedup < plain.BestSpeedup {
+			t.Fatalf("seed=%d: greedy seeding worsened the incumbent: %v < %v",
+				seed, seeded.BestSpeedup, plain.BestSpeedup)
+		}
+		if seeded.BestSpeedup < 1.0 {
+			t.Fatalf("seed=%d: seeded run fell below the O3 baseline: %v", seed, seeded.BestSpeedup)
+		}
+	}
+}
+
+// Greedy probing and planning run serially on the tuner goroutine, so the
+// journal — including the planner-build events — stays canonically identical
+// across worker counts.
+func TestSeedGreedyJournalWorkerDeterminism(t *testing.T) {
+	run := func(workers int) ([]obs.Event, *Result) {
+		mem := &obs.MemorySink{}
+		o := fastOpts()
+		o.Budget = 12
+		o.SeedGreedy = true
+		o.Workers = workers
+		o.Sink = mem
+		res, err := NewTuner(newSyntheticTask(t), o, 7).Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return mem.Events(), res
+	}
+	evS, resS := run(1)
+	evP, resP := run(8)
+	planner := 0
+	for i := range evS {
+		if evS[i].Type == "planner-build" {
+			planner++
+			f := evS[i].Fields
+			if f["probe_compiles"].(int) <= 1 {
+				t.Fatalf("planner-build probed %v prefixes", f["probe_compiles"])
+			}
+			if f["plan_len"].(int) == 0 || f["nodes"].(int) == 0 {
+				t.Fatalf("degenerate planner-build event: %+v", f)
+			}
+		}
+	}
+	if planner == 0 {
+		t.Fatal("no planner-build events journaled")
+	}
+	cS, cP := obs.Canonicalize(evS), obs.Canonicalize(evP)
+	if len(cS) != len(cP) {
+		t.Fatalf("event counts differ: %d vs %d", len(cS), len(cP))
+	}
+	for i := range cS {
+		if !reflect.DeepEqual(cS[i], cP[i]) {
+			t.Fatalf("event %d differs between Workers=1 and Workers=8:\n%+v\nvs\n%+v", i, cS[i], cP[i])
+		}
+	}
+	if resS.BestSpeedup != resP.BestSpeedup {
+		t.Fatalf("best speedup differs: %v vs %v", resS.BestSpeedup, resP.BestSpeedup)
+	}
+}
+
+// The run-start event must record the seeding mode, and the planner metrics
+// must be fed: the edge-count gauge and the plan-time histogram.
+func TestSeedGreedyMetricsAndConfig(t *testing.T) {
+	mem := &obs.MemorySink{}
+	met := obs.NewMetrics()
+	o := fastOpts()
+	o.Budget = 8
+	o.SeedGreedy = true
+	o.Sink = mem
+	o.Metrics = met
+	if _, err := NewTuner(newSyntheticTask(t), o, 5).Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := mem.Events()
+	if len(events) == 0 || events[0].Type != "run-start" {
+		t.Fatal("missing run-start event")
+	}
+	if events[0].Fields["seed_greedy"] != true {
+		t.Fatalf("run-start seed_greedy = %v", events[0].Fields["seed_greedy"])
+	}
+	if v := met.Gauge("citroen_planner_edges").Value(); v <= 0 {
+		t.Fatalf("planner edge gauge = %v", v)
+	}
+	if n := met.Histogram("citroen_greedy_plan_seconds", obs.DurationBuckets).Count(); n == 0 {
+		t.Fatal("plan-time histogram empty")
+	}
+}

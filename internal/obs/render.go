@@ -43,6 +43,10 @@ func (t *TextRenderer) Emit(e *Event) {
 	case "new-incumbent":
 		fmt.Fprintf(t.w, "  ** new incumbent: %.3fx (module %v, measurement %d)\n",
 			fieldFloat(f, "speedup"), f["module"], fieldInt(f, "measurement"))
+	case "planner-build":
+		fmt.Fprintf(t.w, "  planner: module %-14s %d nodes, %d edges (%d probes) -> %d-pass plan\n",
+			f["module"], fieldInt(f, "nodes"), fieldInt(f, "edges"),
+			fieldInt(f, "probe_compiles"), fieldInt(f, "plan_len"))
 	case "gp-fit":
 		mode := "refit"
 		if fieldBool(f, "appended") {

@@ -1,0 +1,367 @@
+// Package planner builds a directed pass-interaction graph from observed
+// per-pass compilation-statistics deltas and orders passes greedily by their
+// connectivity to the already-resolved statistics set — the phase-ordering
+// analogue of greedy join ordering by symbol connectivity (the
+// `reorder-plan-by-relations` information-flow algorithm): a pass that fires
+// shortly after another pass fired is evidence that the earlier pass's
+// counter deltas enabled it (the paper's mem2reg→instcombine→slp chain), so
+// the planner schedules enabler chains front to back.
+//
+// Plan construction is pure arithmetic over at most |vocabulary| nodes: no
+// compilation, no model, no RNG. On the 76-pass reference vocabulary it
+// completes in microseconds (CI gates it below one millisecond), which makes
+// it usable both as a standalone latency-critical "plan now" tuner
+// (tuners.GreedyStats) and as a candidate seeder for CITROEN's Bayesian
+// optimisation (core.Options.SeedGreedy).
+package planner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/passes"
+)
+
+// DefaultDecay weights multi-hop enablement attribution: when pass j fires,
+// the most recently fired pass receives the full delta as edge evidence, the
+// one before it delta×decay, and so on. 0.5 halves the credit per hop.
+const DefaultDecay = 0.5
+
+// minEdgeCredit stops the attribution walk once the decayed credit is
+// negligible — with the default decay this bounds the walk to ~14 hops.
+const minEdgeCredit = 1e-4
+
+// PassDelta is one pass invocation in a pipeline execution: the pass name
+// and the total statistics-counter delta this single invocation produced
+// (the deterministic "how much did this pass do" scalar; see
+// passes.PassCost.DeltaTotal).
+type PassDelta struct {
+	Name  string
+	Delta int
+}
+
+// Trace is the ordered per-invocation delta record of one pipeline
+// execution.
+type Trace []PassDelta
+
+// TraceRecorder implements passes.Observer, recording one Trace for a single
+// pipeline execution. Unlike passes.Profile it keeps invocation order, which
+// is what turns deltas into directed enablement evidence. Not safe for
+// concurrent use: record one build at a time.
+type TraceRecorder struct {
+	Trace Trace
+}
+
+// PassRan implements passes.Observer.
+func (t *TraceRecorder) PassRan(name string, _ time.Duration, delta passes.Stats) {
+	t.Trace = append(t.Trace, PassDelta{Name: name, Delta: deltaTotal(delta)})
+}
+
+func deltaTotal(st passes.Stats) int {
+	total := 0
+	for _, v := range st {
+		total += v
+	}
+	return total
+}
+
+// TraceFromPrefixStats derives a Trace from cumulative prefix statistics:
+// cum[k] are the statistics after running seq[:k], so position k's invocation
+// delta is the counter-wise difference cum[k+1] − cum[k]. This reconstructs
+// per-invocation deltas through interfaces that only expose whole-sequence
+// statistics (core.Task.CompileModule), at the cost of one compile per
+// prefix — nearly free under the bench prefix-snapshot cache, which resumes
+// each prefix from the previous one. len(cum) must be len(seq)+1.
+func TraceFromPrefixStats(seq []string, cum []passes.Stats) (Trace, error) {
+	if len(cum) != len(seq)+1 {
+		return nil, fmt.Errorf("planner: %d cumulative stats for %d-pass sequence (want %d)",
+			len(cum), len(seq), len(seq)+1)
+	}
+	tr := make(Trace, len(seq))
+	for k := range seq {
+		d := 0
+		for key, v := range cum[k+1] {
+			if inc := v - cum[k][key]; inc > 0 {
+				d += inc
+			}
+		}
+		tr[k] = PassDelta{Name: seq[k], Delta: d}
+	}
+	return tr, nil
+}
+
+// Builder accumulates execution traces into a pass-interaction graph.
+type Builder struct {
+	vocab []string
+	index map[string]int
+	w     [][]float64
+	gain  []float64
+	runs  int
+	decay float64
+}
+
+// NewBuilder prepares a builder over the pass vocabulary. decay ≤ 0 uses
+// DefaultDecay.
+func NewBuilder(vocab []string, decay float64) *Builder {
+	if decay <= 0 {
+		decay = DefaultDecay
+	}
+	n := len(vocab)
+	idx := make(map[string]int, n)
+	for i, v := range vocab {
+		idx[v] = i
+	}
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	return &Builder{
+		vocab: append([]string(nil), vocab...),
+		index: idx, w: w, gain: make([]float64, n), decay: decay,
+	}
+}
+
+// Add folds one execution trace into the graph. For every fired invocation
+// (delta > 0) the delta accrues to the pass's node gain, and decayed edge
+// evidence flows from each previously fired pass to it: the pass that fired
+// immediately before contributed most to the statistics state the new pass
+// exploited. Invocations of unknown passes or with zero delta carry no
+// signal and are skipped. Self-edges are excluded — a pass re-firing later
+// says nothing about ordering two distinct passes.
+func (b *Builder) Add(tr Trace) error {
+	var fired []int
+	for _, pd := range tr {
+		j, ok := b.index[pd.Name]
+		if !ok {
+			return fmt.Errorf("planner: trace names unknown pass %q (not in the %d-pass vocabulary)",
+				pd.Name, len(b.vocab))
+		}
+		if pd.Delta <= 0 {
+			continue
+		}
+		b.gain[j] += float64(pd.Delta)
+		credit := float64(pd.Delta)
+		for k := len(fired) - 1; k >= 0; k-- {
+			if credit < minEdgeCredit {
+				break
+			}
+			if i := fired[k]; i != j {
+				b.w[i][j] += credit
+			}
+			credit *= b.decay
+		}
+		fired = append(fired, j)
+	}
+	b.runs++
+	return nil
+}
+
+// Graph freezes the accumulated evidence into an immutable plan-ready graph.
+func (b *Builder) Graph() *Graph {
+	edges := 0
+	for i := range b.w {
+		for j := range b.w[i] {
+			if b.w[i][j] > 0 {
+				edges++
+			}
+		}
+	}
+	g := &Graph{
+		vocab: append([]string(nil), b.vocab...),
+		index: b.index,
+		w:     make([][]float64, len(b.w)),
+		gain:  append([]float64(nil), b.gain...),
+		edges: edges,
+		runs:  b.runs,
+	}
+	for i := range b.w {
+		g.w[i] = append([]float64(nil), b.w[i]...)
+	}
+	return g
+}
+
+// Graph is a frozen pass-interaction graph: node gains (total observed
+// counter deltas per pass) and directed enablement edges (decayed delta
+// attribution from earlier-fired to later-fired passes).
+type Graph struct {
+	vocab []string
+	index map[string]int
+	w     [][]float64
+	gain  []float64
+	edges int
+	runs  int
+}
+
+// Nodes returns the number of passes with any observed activity (positive
+// gain or an incident edge).
+func (g *Graph) Nodes() int {
+	n := 0
+	for i := range g.vocab {
+		if g.active(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Edges returns the number of directed edges with positive weight.
+func (g *Graph) Edges() int { return g.edges }
+
+// Runs returns how many execution traces the graph aggregates.
+func (g *Graph) Runs() int { return g.runs }
+
+// Gain returns the accumulated counter-delta total of a pass (0 for unknown
+// names).
+func (g *Graph) Gain(name string) float64 {
+	i, ok := g.index[name]
+	if !ok {
+		return 0
+	}
+	return g.gain[i]
+}
+
+// Weight returns the directed enablement evidence from → to (0 for unknown
+// names).
+func (g *Graph) Weight(from, to string) float64 {
+	i, ok := g.index[from]
+	j, ok2 := g.index[to]
+	if !ok || !ok2 {
+		return 0
+	}
+	return g.w[i][j]
+}
+
+func (g *Graph) active(i int) bool {
+	if g.gain[i] > 0 {
+		return true
+	}
+	for j := range g.vocab {
+		if g.w[i][j] > 0 || g.w[j][i] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan greedily orders the graph's active passes by connectivity to the
+// resolved-statistics set, then appends the fallback passes the evidence
+// never reached (in fallback order, duplicates of scheduled passes
+// dropped). The fallback — typically the O3 pipeline restricted to the
+// vocabulary — also breaks score ties, so planning is fully deterministic.
+// A graph with no activity (degenerate statistics: nothing fired) returns a
+// copy of the fallback unchanged.
+//
+// The selection rule is the reorder-plan-by-relations shape: repeatedly pick
+// the unscheduled pass maximising
+//
+//	score(p) = Σ_{r scheduled} weight(r→p) + gain(p)
+//
+// so the first pick is the pass that did the most standalone work, and every
+// later pick is the pass the already-scheduled set most strongly enabled.
+func (g *Graph) Plan(fallback []string) []string {
+	// Rank for tie-breaking: fallback position first, then vocabulary order
+	// for passes outside the fallback.
+	rank := make([]int, len(g.vocab))
+	for i := range rank {
+		rank[i] = len(fallback) + i
+	}
+	for pos := len(fallback) - 1; pos >= 0; pos-- {
+		if i, ok := g.index[fallback[pos]]; ok {
+			rank[i] = pos
+		}
+	}
+
+	var remaining []int
+	for i := range g.vocab {
+		if g.active(i) {
+			remaining = append(remaining, i)
+		}
+	}
+	if len(remaining) == 0 {
+		return append([]string(nil), fallback...)
+	}
+
+	// conn[p] = Σ over scheduled r of w[r][p], updated incrementally as
+	// passes are scheduled: the whole plan is O(active²).
+	conn := make([]float64, len(g.vocab))
+	scheduled := make([]bool, len(g.vocab))
+	plan := make([]string, 0, len(remaining)+len(fallback))
+	for len(remaining) > 0 {
+		bestK := 0
+		for k := 1; k < len(remaining); k++ {
+			p, q := remaining[k], remaining[bestK]
+			sp, sq := conn[p]+g.gain[p], conn[q]+g.gain[q]
+			if sp > sq || (sp == sq && rank[p] < rank[q]) {
+				bestK = k
+			}
+		}
+		p := remaining[bestK]
+		remaining = append(remaining[:bestK], remaining[bestK+1:]...)
+		scheduled[p] = true
+		plan = append(plan, g.vocab[p])
+		for _, q := range remaining {
+			conn[q] += g.w[p][q]
+		}
+	}
+	// Evidence never reached these passes on this module, but they may still
+	// matter (cleanup passes with zero counters of their own): keep them in
+	// fallback order after the planned prefix.
+	for _, name := range fallback {
+		if i, ok := g.index[name]; ok && scheduled[i] {
+			continue
+		}
+		plan = append(plan, name)
+	}
+	return plan
+}
+
+// CompileFunc compiles one pass sequence and returns the resulting
+// compilation statistics — the planner-facing corner of core.Task's
+// CompileModule.
+type CompileFunc func(seq []string) (passes.Stats, error)
+
+// BuildFromPrefixProbes builds a module's interaction graph by probing every
+// prefix of the probe sequence through compile and differencing the
+// cumulative statistics (see TraceFromPrefixStats). Probe compilations are
+// compile-only — no execution, no measurement budget — and under a
+// prefix-snapshot compile cache each probe resumes from the previous one.
+func BuildFromPrefixProbes(compile CompileFunc, probe, vocab []string, decay float64) (*Graph, error) {
+	if len(probe) == 0 {
+		// No probe sequence (e.g. an empty vocabulary intersection): an empty
+		// graph, whose Plan degenerates to the fallback.
+		return NewBuilder(vocab, decay).Graph(), nil
+	}
+	cum := make([]passes.Stats, 0, len(probe)+1)
+	for k := 0; k <= len(probe); k++ {
+		st, err := compile(probe[:k])
+		if err != nil {
+			return nil, fmt.Errorf("planner: probe compile of %d-pass prefix: %w", k, err)
+		}
+		cum = append(cum, st)
+	}
+	tr, err := TraceFromPrefixStats(probe, cum)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(vocab, decay)
+	if err := b.Add(tr); err != nil {
+		return nil, err
+	}
+	return b.Graph(), nil
+}
+
+// KnownSubset keeps the passes of seq present in vocab, preserving order and
+// duplicates — the probe/fallback sequence for restricted vocabularies.
+func KnownSubset(seq, vocab []string) []string {
+	in := make(map[string]bool, len(vocab))
+	for _, v := range vocab {
+		in[v] = true
+	}
+	var out []string
+	for _, p := range seq {
+		if in[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package planner
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// buildPromotable returns a module where mem2reg has obvious work (alloca
+// load/store traffic) so the O3 probe produces a non-degenerate trace.
+func buildPromotable() *ir.Module {
+	m := &ir.Module{Name: "mod", TargetVecWidth64: 2}
+	bd := ir.NewBuilder(m)
+	g := bd.AddGlobal("g", ir.I64T, 16)
+	g.InitI = make([]int64, 16)
+	for i := range g.InitI {
+		g.InitI[i] = int64(i + 1)
+	}
+	bd.NewFunction("main", ir.VoidT)
+	acc := bd.Alloca(ir.I64T, 1)
+	bd.Store(ir.ConstInt(ir.I64T, 0), acc)
+	for i := 0; i < 8; i++ {
+		x := bd.Load(ir.I64T, bd.GEP(g, ir.ConstInt(ir.I64T, int64(i))))
+		prod := bd.Bin(ir.OpMul, x, ir.ConstInt(ir.I64T, 3))
+		cur := bd.Load(ir.I64T, acc)
+		bd.Store(bd.Bin(ir.OpAdd, cur, prod), acc)
+	}
+	bd.Call("sim.out.i64", ir.VoidT, bd.Load(ir.I64T, acc))
+	bd.Ret(nil)
+	return m
+}
+
+// multiObserver fans one pass invocation out to several observers.
+type multiObserver []passes.Observer
+
+func (m multiObserver) PassRan(name string, wall time.Duration, delta passes.Stats) {
+	for _, o := range m {
+		o.PassRan(name, wall, delta)
+	}
+}
+
+// The graph's node gains must agree exactly with the per-pass delta totals
+// that passes.Profile aggregates over the same execution — the planner and
+// the profiler are two consumers of one ApplyObserved attribution.
+func TestGraphGainsAgreeWithPassProfile(t *testing.T) {
+	vocab := passes.Names()
+	seq := passes.O3Sequence()
+
+	prof := passes.NewProfile()
+	rec := &TraceRecorder{}
+	m := buildPromotable()
+	if err := passes.ApplyObserved(m, seq, passes.Stats{}, false, multiObserver{prof, rec}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Trace) != len(seq) {
+		t.Fatalf("trace has %d invocations, sequence has %d", len(rec.Trace), len(seq))
+	}
+
+	b := NewBuilder(vocab, 0)
+	if err := b.Add(rec.Trace); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+
+	totalGain := 0.0
+	for _, c := range prof.Costs() {
+		if got := g.Gain(c.Name); got != float64(c.DeltaTotal()) {
+			t.Fatalf("gain(%s) = %v, profile delta total = %d", c.Name, got, c.DeltaTotal())
+		}
+		totalGain += float64(c.DeltaTotal())
+	}
+	if totalGain == 0 {
+		t.Fatal("degenerate probe: no pass fired")
+	}
+	if g.Nodes() == 0 || g.Edges() == 0 {
+		t.Fatalf("graph empty: %d nodes, %d edges", g.Nodes(), g.Edges())
+	}
+	if g.Runs() != 1 {
+		t.Fatalf("runs = %d", g.Runs())
+	}
+}
+
+// TraceFromPrefixStats must reconstruct the per-invocation deltas that a
+// direct observer records, through cumulative whole-prefix statistics alone.
+func TestTraceFromPrefixStatsMatchesObserver(t *testing.T) {
+	seq := passes.O3Sequence()
+
+	rec := &TraceRecorder{}
+	m := buildPromotable()
+	if err := passes.ApplyObserved(m, seq, passes.Stats{}, false, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	cum := make([]passes.Stats, 0, len(seq)+1)
+	for k := 0; k <= len(seq); k++ {
+		st := passes.Stats{}
+		mk := buildPromotable()
+		if err := passes.Apply(mk, seq[:k], st, false); err != nil {
+			t.Fatal(err)
+		}
+		cum = append(cum, st)
+	}
+	tr, err := TraceFromPrefixStats(seq, cum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, rec.Trace) {
+		t.Fatalf("prefix-diff trace disagrees with observed trace:\n%v\nvs\n%v", tr, rec.Trace)
+	}
+}
+
+func TestTraceFromPrefixStatsLengthMismatch(t *testing.T) {
+	if _, err := TraceFromPrefixStats([]string{"dce"}, nil); err == nil {
+		t.Fatal("want error for missing cumulative stats")
+	}
+}
+
+// A graph with no observed activity must fall back to the O3 order verbatim
+// — the degenerate-statistics contract.
+func TestPlanEmptyGraphFallsBackToO3(t *testing.T) {
+	vocab := passes.Names()
+	o3 := passes.O3Sequence()
+	g := NewBuilder(vocab, 0).Graph()
+	plan := g.Plan(o3)
+	if !reflect.DeepEqual(plan, o3) {
+		t.Fatalf("empty graph plan is not the O3 fallback:\n%v", plan)
+	}
+	// Same for a trace where nothing fired.
+	b := NewBuilder(vocab, 0)
+	var tr Trace
+	for _, p := range o3 {
+		tr = append(tr, PassDelta{Name: p, Delta: 0})
+	}
+	if err := b.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if plan := b.Graph().Plan(o3); !reflect.DeepEqual(plan, o3) {
+		t.Fatalf("zero-delta plan is not the O3 fallback:\n%v", plan)
+	}
+}
+
+// The planner must schedule an enabler chain in firing order: with a -> b ->
+// c evidence (each later pass enabled by the earlier), the plan starts a, b,
+// c even when the raw gains alone would order them differently.
+func TestPlanFollowsEnablementChain(t *testing.T) {
+	vocab := []string{"a", "b", "c", "d"}
+	b := NewBuilder(vocab, 0.5)
+	// One run: a does the most standalone work, then b, then c fire off it.
+	err := b.Add(Trace{
+		{Name: "a", Delta: 10},
+		{Name: "b", Delta: 4},
+		{Name: "c", Delta: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+	plan := g.Plan([]string{"d", "c", "b", "a"})
+	want := []string{"a", "b", "c", "d"}
+	if !reflect.DeepEqual(plan, want) {
+		t.Fatalf("plan = %v, want %v", plan, want)
+	}
+	// Edge direction: a enables b, not the reverse.
+	if g.Weight("a", "b") <= 0 || g.Weight("b", "a") != 0 {
+		t.Fatalf("edge weights wrong: a->b=%v b->a=%v", g.Weight("a", "b"), g.Weight("b", "a"))
+	}
+	// Decay: the 2-hop edge a->c carries half the 1-hop credit of b->c.
+	if g.Weight("a", "c") != g.Weight("b", "c")*0.5 {
+		t.Fatalf("decay wrong: a->c=%v b->c=%v", g.Weight("a", "c"), g.Weight("b", "c"))
+	}
+}
+
+// Unknown pass names in a trace must error instead of being dropped — the
+// same silent-drop class as seqIndices/indicesOf.
+func TestBuilderRejectsUnknownPass(t *testing.T) {
+	b := NewBuilder([]string{"a"}, 0)
+	if err := b.Add(Trace{{Name: "nope", Delta: 1}}); err == nil {
+		t.Fatal("want error for unknown pass in trace")
+	}
+}
+
+// Planning is deterministic: same traces, same plan, every time; ties break
+// on fallback order.
+func TestPlanDeterministicWithTies(t *testing.T) {
+	vocab := []string{"x", "y", "z"}
+	mk := func() []string {
+		b := NewBuilder(vocab, 0)
+		// y and z tie exactly; x wins outright.
+		if err := b.Add(Trace{{Name: "z", Delta: 2}, {Name: "x", Delta: 9}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Add(Trace{{Name: "y", Delta: 2}}); err != nil {
+			t.Fatal(err)
+		}
+		return b.Graph().Plan([]string{"y", "z"})
+	}
+	first := mk()
+	// "y" precedes "z" in the fallback, so the tie resolves to y.
+	if !reflect.DeepEqual(first, []string{"x", "y", "z"}) {
+		t.Fatalf("tie-break wrong: %v", first)
+	}
+	for i := 0; i < 10; i++ {
+		if got := mk(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("plan changed between runs: %v vs %v", got, first)
+		}
+	}
+}
+
+// BuildFromPrefixProbes over a real module: the probe graph plans a sequence
+// that still contains every fallback pass (reordered, not dropped).
+func TestBuildFromPrefixProbes(t *testing.T) {
+	vocab := passes.Names()
+	o3 := passes.O3Sequence()
+	compiles := 0
+	g, err := BuildFromPrefixProbes(func(seq []string) (passes.Stats, error) {
+		compiles++
+		st := passes.Stats{}
+		m := buildPromotable()
+		if err := passes.Apply(m, seq, st, false); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}, o3, vocab, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiles != len(o3)+1 {
+		t.Fatalf("probe made %d compiles, want %d", compiles, len(o3)+1)
+	}
+	plan := g.Plan(o3)
+	// Every distinct fallback pass appears in the plan.
+	planned := map[string]bool{}
+	for _, p := range plan {
+		planned[p] = true
+	}
+	for _, p := range o3 {
+		if !planned[p] {
+			t.Fatalf("plan dropped fallback pass %s", p)
+		}
+	}
+	// The planned prefix is connectivity-ordered, not O3-ordered: mem2reg-like
+	// promotion work (sroa promotes the alloca here) must come before the
+	// vectorisers it enables.
+	pos := map[string]int{}
+	for i, p := range plan {
+		if _, seen := pos[p]; !seen {
+			pos[p] = i
+		}
+	}
+	if g.Gain("sroa") > 0 && pos["sroa"] > pos["slp-vectorizer"] {
+		t.Fatalf("enabler sroa planned after slp-vectorizer: %v", plan[:12])
+	}
+}
+
+func TestKnownSubset(t *testing.T) {
+	got := KnownSubset([]string{"a", "b", "a", "c"}, []string{"a", "c"})
+	if !reflect.DeepEqual(got, []string{"a", "a", "c"}) {
+		t.Fatalf("KnownSubset = %v", got)
+	}
+	if KnownSubset(nil, []string{"a"}) != nil {
+		t.Fatal("empty subset should be nil")
+	}
+}

@@ -61,9 +61,12 @@ func (b BOCA) Tune(task core.Task, budget int, seed int64) (*Result, error) {
 	X := map[string][][]float64{}
 	Y := map[string][]float64{}
 	incumbent := map[string][]int{}
-	o3 := indicesOf(vocab, passes.O3Sequence())
+	o3, err := indicesOf(vocab, passes.O3Sequence())
+	if err != nil {
+		return nil, err
+	}
 	for _, m := range h.mods {
-		incumbent[m] = clip(o3, sp)
+		incumbent[m] = clip(o3, sp, rng)
 	}
 
 	record := func(o obs, y float64) {

@@ -1,0 +1,77 @@
+package tuners
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/heuristic"
+	"repro/internal/passes"
+	"repro/internal/planner"
+)
+
+// GreedyStats is the statistics-connectivity greedy planner as a standalone
+// tuner: for each hot module it probes the prefixes of the O3 pipeline
+// (compile-only — no measurement budget), builds the pass-interaction graph
+// from the per-invocation statistics deltas, and measures the greedy
+// connectivity-ordered plan. Plan construction itself is microsecond-scale
+// (see BenchmarkGreedyPlan), so the first measured candidate is available
+// almost immediately — the latency-critical "plan now" mode. Any remaining
+// budget refines the plan with a discrete (1+λ) evolution strategy seeded
+// from it.
+type GreedyStats struct {
+	SeqMax int
+	// Decay is the per-hop attribution decay of the interaction graph;
+	// ≤ 0 uses planner.DefaultDecay.
+	Decay float64
+}
+
+// Name implements Tuner.
+func (GreedyStats) Name() string { return "GreedyStats" }
+
+// Tune implements Tuner.
+func (g GreedyStats) Tune(task core.Task, budget int, seed int64) (*Result, error) {
+	h, err := newHarness(task, budget)
+	if err != nil {
+		return nil, err
+	}
+	sp, vocab := space(seqMaxOr(g.SeqMax))
+	probe := planner.KnownSubset(passes.O3Sequence(), vocab)
+
+	des := map[string]*heuristic.DES{}
+	for i, m := range h.mods {
+		mod := m
+		graph, err := planner.BuildFromPrefixProbes(func(seq []string) (passes.Stats, error) {
+			_, st, err := task.CompileModule(context.Background(), mod, seq)
+			return st, err
+		}, probe, vocab, g.Decay)
+		if err != nil {
+			return nil, err
+		}
+		plan := graph.Plan(probe)
+		idx, err := indicesOf(vocab, plan)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(subSeed(seed, 3, i)))
+		seeded := clip(idx, sp, rng)
+		d := heuristic.NewDES(sp, rng)
+		d.MutBurst = 1
+		y := 1.0
+		if my, ok := h.measure(mod, toStrings(vocab, seeded)); ok {
+			y = my
+		}
+		d.Seed(seeded, y)
+		des[mod] = d
+	}
+	for i := 0; h.used < budget; i++ {
+		mod := h.mods[i%len(h.mods)]
+		seq := des[mod].Ask(1)[0]
+		y, ok := h.measure(mod, toStrings(vocab, seq))
+		if !ok {
+			break
+		}
+		des[mod].Tell(seq, y)
+	}
+	return h.result(g.Name()), nil
+}

@@ -6,8 +6,11 @@ package tuners
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/heuristic"
@@ -40,6 +43,7 @@ type harness struct {
 	trace []float64
 	used  int
 	limit int
+	memo  map[string]float64
 }
 
 func newHarness(task core.Task, budget int) (*harness, error) {
@@ -50,12 +54,44 @@ func newHarness(task core.Task, budget int) (*harness, error) {
 	return &harness{
 		task: task, base: task.BaselineTime(), mods: hot,
 		best: map[string][]string{}, bestY: map[string]float64{},
-		globY: 1.0, limit: budget,
+		globY: 1.0, limit: budget, memo: map[string]float64{},
 	}, nil
+}
+
+// seqsKey encodes a full measurement configuration unambiguously: module
+// names sorted, every name %q-quoted so separators inside pass or module
+// names cannot make distinct configurations collide, and a nil sequence
+// (the O3 baseline) kept distinct from an empty one (zero passes).
+func seqsKey(seqs map[string][]string) string {
+	mods := make([]string, 0, len(seqs))
+	for m := range seqs {
+		mods = append(mods, m)
+	}
+	sort.Strings(mods)
+	var b strings.Builder
+	for _, m := range mods {
+		fmt.Fprintf(&b, "%q:", m)
+		if seqs[m] == nil {
+			b.WriteString("nil;")
+			continue
+		}
+		b.WriteByte('[')
+		for _, p := range seqs[m] {
+			fmt.Fprintf(&b, "%q,", p)
+		}
+		b.WriteString("];")
+	}
+	return b.String()
 }
 
 // measure profiles the program with module mod rebuilt under seq. It returns
 // the relative time y (lower better) and whether budget remained.
+//
+// Measurements are memoised on the full configuration (the simulator is
+// deterministic for a given set of sequences), so a tuner revisiting a point
+// skips the expensive Measure call. A memo hit still consumes budget and
+// extends the trace — re-asking a known point is the tuner's spent
+// evaluation, and the trace length stays equal to the budget.
 func (h *harness) measure(mod string, seq []string) (float64, bool) {
 	if h.used >= h.limit {
 		return 0, false
@@ -65,6 +101,14 @@ func (h *harness) measure(mod string, seq []string) (float64, bool) {
 		seqs[m] = s
 	}
 	seqs[mod] = seq
+	key := seqsKey(seqs)
+	if y, ok := h.memo[key]; ok {
+		// The first evaluation already applied any incumbent update this
+		// configuration could deliver (improvements are strict).
+		h.used++
+		h.trace = append(h.trace, 1/h.globY)
+		return y, true
+	}
 	t, err := h.task.Measure(context.Background(), seqs)
 	h.used++
 	y := 10.0 // differential-test failure penalty
@@ -81,6 +125,7 @@ func (h *harness) measure(mod string, seq []string) (float64, bool) {
 			h.globY = y
 		}
 	}
+	h.memo[key] = y
 	h.trace = append(h.trace, 1/h.globY)
 	return y, true
 }
@@ -159,7 +204,7 @@ func (g GA) Tune(task core.Task, budget int, seed int64) (*Result, error) {
 	}
 	gas := map[string]*heuristic.SeqGA{}
 	for i, m := range h.mods {
-		gas[m] = heuristic.NewSeqGA(sp, pop, rand.New(rand.NewSource(seed+int64(i))))
+		gas[m] = heuristic.NewSeqGA(sp, pop, rand.New(rand.NewSource(subSeed(seed, 0, i))))
 	}
 	for i := 0; h.used < budget; i++ {
 		mod := h.mods[i%len(h.mods)]
@@ -189,11 +234,15 @@ func (hc HillClimb) Tune(task core.Task, budget int, seed int64) (*Result, error
 	}
 	sp, vocab := space(seqMaxOr(hc.SeqMax))
 	des := map[string]*heuristic.DES{}
-	o3 := indicesOf(vocab, passes.O3Sequence())
+	o3, err := indicesOf(vocab, passes.O3Sequence())
+	if err != nil {
+		return nil, err
+	}
 	for i, m := range h.mods {
-		d := heuristic.NewDES(sp, rand.New(rand.NewSource(seed+int64(i))))
+		rng := rand.New(rand.NewSource(subSeed(seed, 1, i)))
+		d := heuristic.NewDES(sp, rng)
 		d.MutBurst = 1
-		d.Seed(clip(o3, sp), 1.0)
+		d.Seed(clip(o3, sp, rng), 1.0)
 		des[m] = d
 	}
 	for i := 0; h.used < budget; i++ {
@@ -208,29 +257,57 @@ func (hc HillClimb) Tune(task core.Task, budget int, seed int64) (*Result, error
 	return h.result(hc.Name()), nil
 }
 
-func indicesOf(vocab []string, seq []string) []int {
+// indicesOf maps pass names to vocabulary indices. An unknown name is an
+// error, not a silent drop — a dropped pass would quietly shorten the
+// sequence the tuner believes it is measuring (the same failure class as
+// core's seqIndices).
+func indicesOf(vocab []string, seq []string) ([]int, error) {
 	idx := map[string]int{}
 	for i, v := range vocab {
 		idx[v] = i
 	}
-	var out []int
+	out := make([]int, 0, len(seq))
 	for _, p := range seq {
-		if i, ok := idx[p]; ok {
-			out = append(out, i)
+		i, ok := idx[p]
+		if !ok {
+			return nil, fmt.Errorf("tuners: pass %q not in the %d-pass vocabulary", p, len(vocab))
 		}
+		out = append(out, i)
 	}
-	return out
+	return out, nil
 }
 
-func clip(seq []int, sp heuristic.SeqSpace) []int {
+// clip fits a sequence to the search space, padding short sequences with
+// random vocabulary draws rather than repeating gene 0 (which would bias
+// every padded candidate toward the first registered pass).
+func clip(seq []int, sp heuristic.SeqSpace, rng *rand.Rand) []int {
 	out := append([]int(nil), seq...)
 	if len(out) > sp.MaxLen {
 		out = out[:sp.MaxLen]
 	}
 	for len(out) < sp.MinLen {
-		out = append(out, 0)
+		out = append(out, rng.Intn(sp.Vocab))
 	}
 	return out
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// subSeed derives an independent RNG stream seed from (seed, family, i).
+// Additive offsets like seed+100+i collide across families once a family
+// has ≥100 members, correlating streams that must be independent; hashing
+// each coordinate through splitmix64 keeps streams distinct.
+func subSeed(seed int64, family, i int) int64 {
+	x := splitmix64(uint64(seed))
+	x = splitmix64(x ^ uint64(family))
+	x = splitmix64(x ^ uint64(i))
+	return int64(x)
 }
 
 // --- Simulated annealing ---
@@ -263,9 +340,12 @@ func (a Anneal) Tune(task core.Task, budget int, seed int64) (*Result, error) {
 	}
 	cur := map[string][]int{}
 	curY := map[string]float64{}
-	o3 := indicesOf(vocab, passes.O3Sequence())
+	o3, err := indicesOf(vocab, passes.O3Sequence())
+	if err != nil {
+		return nil, err
+	}
 	for _, m := range h.mods {
-		cur[m] = clip(o3, sp)
+		cur[m] = clip(o3, sp, rng)
 		curY[m] = 1.0
 	}
 	T := t0
@@ -302,7 +382,10 @@ func (e Ensemble) Tune(task core.Task, budget int, seed int64) (*Result, error) 
 	}
 	sp, vocab := space(seqMaxOr(e.SeqMax))
 	rng := rand.New(rand.NewSource(seed))
-	o3 := indicesOf(vocab, passes.O3Sequence())
+	o3, err := indicesOf(vocab, passes.O3Sequence())
+	if err != nil {
+		return nil, err
+	}
 
 	type tech struct {
 		name   string
@@ -318,14 +401,15 @@ func (e Ensemble) Tune(task core.Task, budget int, seed int64) (*Result, error) 
 	}
 	techs := []*tech{
 		{name: "random", credit: 1, gens: mkGens(func(i int) heuristic.SeqOptimizer {
-			return &heuristic.SeqRandom{Space: sp, Rng: rand.New(rand.NewSource(seed + int64(i)))}
+			return &heuristic.SeqRandom{Space: sp, Rng: rand.New(rand.NewSource(subSeed(seed, 0, i)))}
 		})},
 		{name: "ga", credit: 1, gens: mkGens(func(i int) heuristic.SeqOptimizer {
-			return heuristic.NewSeqGA(sp, 16, rand.New(rand.NewSource(seed+100+int64(i))))
+			return heuristic.NewSeqGA(sp, 16, rand.New(rand.NewSource(subSeed(seed, 1, i))))
 		})},
 		{name: "des", credit: 1, gens: mkGens(func(i int) heuristic.SeqOptimizer {
-			d := heuristic.NewDES(sp, rand.New(rand.NewSource(seed+200+int64(i))))
-			d.Seed(clip(o3, sp), 1.0)
+			drng := rand.New(rand.NewSource(subSeed(seed, 2, i)))
+			d := heuristic.NewDES(sp, drng)
+			d.Seed(clip(o3, sp, drng), 1.0)
 			return d
 		})},
 	}

@@ -98,7 +98,7 @@ func (c *costTask) BaselineTime() float64                             { return c
 func (c *costTask) HotModules(float64) ([]string, error)              { return []string{"mod"}, nil }
 
 func allTuners() []Tuner {
-	return []Tuner{Random{}, GA{}, HillClimb{}, Anneal{}, Ensemble{}, BOCA{Pool: 20}}
+	return []Tuner{Random{}, GA{}, HillClimb{}, Anneal{}, Ensemble{}, BOCA{Pool: 20}, GreedyStats{}}
 }
 
 func TestAllTunersRespectBudgetAndTrace(t *testing.T) {
@@ -152,6 +152,115 @@ func TestTunersDeterministic(t *testing.T) {
 		if a.BestSpeedup != b.BestSpeedup {
 			t.Fatalf("%s: non-deterministic", tn.Name())
 		}
+	}
+}
+
+func TestIndicesOfRejectsUnknownPass(t *testing.T) {
+	vocab := passes.Names()
+	if _, err := indicesOf(vocab, []string{"dce", "no-such-pass"}); err == nil {
+		t.Fatal("unknown pass name must error, not silently shorten the sequence")
+	}
+	idx, err := indicesOf(vocab, passes.O3Sequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != len(passes.O3Sequence()) {
+		t.Fatalf("O3 mapped to %d indices, want %d", len(idx), len(passes.O3Sequence()))
+	}
+}
+
+func TestSubSeedStreamsDistinct(t *testing.T) {
+	// The old additive scheme collided at (family 0, i=100) vs (family 1,
+	// i=0) etc.; the hashed derivation must keep every stream distinct well
+	// past 100 members per family.
+	for _, seed := range []int64{0, 1, 42, -7} {
+		seen := map[int64]bool{}
+		for family := 0; family < 4; family++ {
+			for i := 0; i < 300; i++ {
+				s := subSeed(seed, family, i)
+				if seen[s] {
+					t.Fatalf("seed collision at seed=%d family=%d i=%d", seed, family, i)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func TestSeqsKeyUnambiguous(t *testing.T) {
+	cases := [][2]map[string][]string{
+		// Separator inside a pass name vs two passes.
+		{{"m": {"a,b"}}, {"m": {"a", "b"}}},
+		// nil (O3 baseline) vs empty (zero passes).
+		{{"m": nil}, {"m": {}}},
+		// Pass list split across module boundary.
+		{{"m": {"a"}, "n": {"b"}}, {"m": {"a", "b"}, "n": {}}},
+		// Quote-ish characters in names.
+		{{`m"`: {"a"}}, {"m": {`"a`}}},
+	}
+	for _, c := range cases {
+		if seqsKey(c[0]) == seqsKey(c[1]) {
+			t.Fatalf("key collision: %v vs %v -> %q", c[0], c[1], seqsKey(c[0]))
+		}
+	}
+	if seqsKey(map[string][]string{"m": {"a"}, "n": {"b"}}) !=
+		seqsKey(map[string][]string{"n": {"b"}, "m": {"a"}}) {
+		t.Fatal("key depends on map iteration order")
+	}
+}
+
+// countingTask counts Measure calls so the memoisation is observable.
+type countingTask struct {
+	*costTask
+	measures int
+}
+
+func (c *countingTask) Measure(ctx context.Context, seqs map[string][]string) (float64, error) {
+	c.measures++
+	return c.costTask.Measure(ctx, seqs)
+}
+
+func TestMeasureMemoSkipsRepeatedConfigurations(t *testing.T) {
+	ct := &countingTask{costTask: newCostTask(t)}
+	h, err := newHarness(ct, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []string{"dce", "instcombine"}
+	y1, ok := h.measure("mod", seq)
+	if !ok {
+		t.Fatal("budget exhausted")
+	}
+	y2, ok := h.measure("mod", seq)
+	if !ok {
+		t.Fatal("budget exhausted")
+	}
+	if ct.measures != 1 {
+		t.Fatalf("task measured %d times for one configuration", ct.measures)
+	}
+	if y1 != y2 {
+		t.Fatalf("memo returned %v, first measurement was %v", y2, y1)
+	}
+	// The repeat still consumed budget and extended the trace.
+	if h.used != 2 || len(h.trace) != 2 {
+		t.Fatalf("used=%d trace=%d, want 2/2", h.used, len(h.trace))
+	}
+}
+
+// GreedyStats probes compile statistics before its first measurement; the
+// probes must be free (budget untouched) and the result at least as good as
+// the baseline for this smooth synthetic cost.
+func TestGreedyStatsPlanNotWorseThanBaseline(t *testing.T) {
+	task := newCostTask(t)
+	res, err := GreedyStats{}.Tune(task, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 12 {
+		t.Fatalf("trace length %d, want the full budget", len(res.Trace))
+	}
+	if res.BestSpeedup < 0.999 {
+		t.Fatalf("greedy plan fell below baseline: %v", res.BestSpeedup)
 	}
 }
 
