@@ -28,6 +28,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/passes"
 	"repro/internal/tuners"
 )
@@ -107,6 +108,10 @@ func main() {
 		sinks = append(sinks, obs.NewTextRenderer(os.Stdout))
 	}
 	metrics := obs.NewMetrics()
+	// Phase attribution gauges (citroen_phase_seconds{phase=...}) feed from
+	// the same event stream the journal captures, so the /metrics view and an
+	// offline `citroenstat report` of the journal always agree.
+	sinks = append(sinks, analyze.NewPhaseSink(metrics))
 	var prof *passes.Profile
 	if *passProfile {
 		prof = passes.NewProfile()

@@ -9,6 +9,7 @@
 //	citroenctl [-addr URL] cancel <job-id>
 //	citroenctl [-addr URL] wait <job-id>
 //	citroenctl [-addr URL] result <job-id>
+//	citroenctl [-addr URL] summary <job-id> [-json]
 package main
 
 import (
@@ -20,13 +21,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs/analyze"
 	"repro/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8171", "citroend base URL")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: citroenctl [-addr URL] <submit|status|list|events|cancel|wait|result> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: citroenctl [-addr URL] <submit|status|list|events|cancel|wait|result|summary> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,6 +54,8 @@ func main() {
 		err = cmdWait(c, args)
 	case "result":
 		err = cmdResult(c, args)
+	case "summary":
+		err = cmdSummary(c, args)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -192,6 +196,31 @@ func cmdWait(c *serve.Client, args []string) error {
 		return err
 	}
 	return printJSON(st)
+}
+
+// cmdSummary renders the server's live journal analysis — works on running
+// jobs, showing where the wall time is going right now.
+func cmdSummary(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print the raw JobSummary JSON")
+	id, err := parseWithID(fs, args)
+	if err != nil {
+		return err
+	}
+	sum, err := c.Summary(id)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return printJSON(sum)
+	}
+	fmt.Printf("job %s  %s  %s", sum.Status.ID, sum.Status.State, sum.Status.Spec.Bench)
+	if sum.Status.BestSpeedup > 0 {
+		fmt.Printf("  best %.3fx", sum.Status.BestSpeedup)
+	}
+	fmt.Println()
+	analyze.WriteReport(os.Stdout, sum.Report)
+	return nil
 }
 
 func cmdResult(c *serve.Client, args []string) error {

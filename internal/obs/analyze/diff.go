@@ -1,0 +1,98 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Mismatch describes the first canonical difference between two journals.
+type Mismatch struct {
+	// Index is the 0-based position of the first differing event (== the
+	// shorter journal's length when one is a prefix of the other).
+	Index  int
+	Reason string
+	A, B   *obs.Event // canonicalized; nil past the shorter journal's end
+}
+
+func (m *Mismatch) String() string {
+	s := fmt.Sprintf("event %d: %s", m.Index, m.Reason)
+	if m.A != nil {
+		s += fmt.Sprintf("\n  a: %s", canonicalJSON(*m.A))
+	}
+	if m.B != nil {
+		s += fmt.Sprintf("\n  b: %s", canonicalJSON(*m.B))
+	}
+	return s
+}
+
+// Diff canonicalizes both journals (stripping every "_ns" timing field and
+// "env_" execution-environment field) and compares them event by event,
+// returning nil when they are canonically identical — the worker-count
+// determinism contract: two runs that searched identically diff clean no
+// matter how their wall clocks or worker pools differed.
+func Diff(a, b []obs.Event) *Mismatch {
+	ca, cb := obs.Canonicalize(a), obs.Canonicalize(b)
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	for i := 0; i < n; i++ {
+		if reason := eventDiff(&ca[i], &cb[i]); reason != "" {
+			return &Mismatch{Index: i, Reason: reason, A: &ca[i], B: &cb[i]}
+		}
+	}
+	if len(ca) != len(cb) {
+		m := &Mismatch{Index: n, Reason: fmt.Sprintf("event counts differ: %d vs %d", len(ca), len(cb))}
+		if n < len(ca) {
+			m.A = &ca[n]
+		}
+		if n < len(cb) {
+			m.B = &cb[n]
+		}
+		return m
+	}
+	return nil
+}
+
+// eventDiff compares two canonical events, returning "" when equal. Fields
+// are compared through their JSON encoding, which both sorts map keys and
+// erases the int-vs-float64 distinction between in-memory and re-read
+// journals (5 and 5.0 encode identically).
+func eventDiff(a, b *obs.Event) string {
+	switch {
+	case a.Seq != b.Seq:
+		return fmt.Sprintf("seq %d vs %d", a.Seq, b.Seq)
+	case a.Type != b.Type:
+		return fmt.Sprintf("type %q vs %q", a.Type, b.Type)
+	case a.Span != b.Span:
+		return fmt.Sprintf("span %d vs %d", a.Span, b.Span)
+	case a.Parent != b.Parent:
+		return fmt.Sprintf("parent %d vs %d", a.Parent, b.Parent)
+	}
+	fa, fb := fieldsJSON(a.Fields), fieldsJSON(b.Fields)
+	if fa != fb {
+		return fmt.Sprintf("fields %s vs %s", fa, fb)
+	}
+	return ""
+}
+
+func fieldsJSON(f map[string]any) string {
+	if len(f) == 0 {
+		return "{}"
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Sprintf("%v", f)
+	}
+	return string(b)
+}
+
+func canonicalJSON(e obs.Event) string {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Sprintf("%+v", e)
+	}
+	return string(b)
+}

@@ -1,0 +1,28 @@
+package analyze
+
+// Field accessors tolerating both in-memory events (int/int64/uint64 values)
+// and JSON-decoded ones (float64), mirroring internal/obs's replay helpers.
+
+func fieldFloat(f map[string]any, key string) float64 {
+	switch v := f[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	case uint64:
+		return float64(v)
+	}
+	return 0
+}
+
+func fieldBool(f map[string]any, key string) bool {
+	b, _ := f[key].(bool)
+	return b
+}
+
+func fieldString(f map[string]any, key string) string {
+	s, _ := f[key].(string)
+	return s
+}

@@ -1,0 +1,113 @@
+package analyze
+
+import "repro/internal/obs"
+
+// Span is one reconstructed node of a run's span tree: the run itself or one
+// model-guided-loop iteration. Leaf events (compile, measure, gp-fit, ...)
+// attach to the span named by their Parent field.
+type Span struct {
+	ID int64 `json:"id"`
+	// Type is the opening event's type ("run-start" or "iteration").
+	Type string `json:"type"`
+	// Open is the event that opened the span.
+	Open obs.Event `json:"-"`
+	// StartNS/EndNS bound the span on the spliced run timeline. A span
+	// closes when its successor opens (iterations) or at the run-end /
+	// last-seen event (runs and torn tails).
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+
+	Children []*Span     `json:"children,omitempty"`
+	Events   []obs.Event `json:"-"`
+}
+
+// Tree is the forest of runs found in one journal (experiment sweeps journal
+// several runs back-to-back; CLI runs have exactly one root).
+type Tree struct {
+	Roots []*Span
+}
+
+// BuildTree reconstructs the span forest from a journal. Events whose parent
+// span is unknown (e.g. a tail journal that starts mid-run) hang off a
+// synthetic root with ID 0.
+func BuildTree(events []obs.Event) *Tree {
+	tr := &Tree{}
+	var cur *Span            // current root
+	var open map[int64]*Span // span id -> node, reset per run
+	var clock spliceClock
+
+	ensureRoot := func(start int64) *Span {
+		if cur == nil {
+			cur = &Span{ID: 0, Type: "run-start", StartNS: start, EndNS: start}
+			open = map[int64]*Span{}
+			tr.Roots = append(tr.Roots, cur)
+		}
+		return cur
+	}
+
+	for i := range events {
+		e := events[i]
+		t := clock.adjust(e.TimeNS)
+		switch e.Type {
+		case "run-start":
+			cur = &Span{ID: e.Span, Type: e.Type, Open: e, StartNS: t, EndNS: t}
+			open = map[int64]*Span{e.Span: cur}
+			tr.Roots = append(tr.Roots, cur)
+			continue
+		case "iteration":
+			root := ensureRoot(t)
+			sp := &Span{ID: e.Span, Type: e.Type, Open: e, StartNS: t, EndNS: t}
+			parent := open[e.Parent]
+			if parent == nil {
+				parent = root
+			}
+			// The previous iteration (if any) closes where this one opens.
+			if n := len(parent.Children); n > 0 {
+				parent.Children[n-1].EndNS = t
+			}
+			parent.Children = append(parent.Children, sp)
+			open[e.Span] = sp
+			extend(root, t)
+			continue
+		}
+		root := ensureRoot(t)
+		sp := open[e.Parent]
+		if sp == nil {
+			sp = root
+		}
+		sp.Events = append(sp.Events, e)
+		extend(sp, t)
+		extend(root, t)
+		if e.Type == "run-end" {
+			// Close every open span at the run's end.
+			for _, s := range open {
+				extend(s, t)
+			}
+		}
+	}
+	return tr
+}
+
+// extend grows a span's end to cover t.
+func extend(s *Span, t int64) {
+	if t > s.EndNS {
+		s.EndNS = t
+	}
+}
+
+// spliceClock splices recorder restarts (checkpoint/resume in a new process,
+// TimeNS resetting to ~0) onto one monotonic timeline; same rule as
+// Analyzer.adjust.
+type spliceClock struct {
+	offsetNS, lastNS int64
+}
+
+func (c *spliceClock) adjust(raw int64) int64 {
+	t := raw + c.offsetNS
+	if t < c.lastNS {
+		c.offsetNS = c.lastNS
+		t = raw + c.offsetNS
+	}
+	c.lastNS = t
+	return t
+}

@@ -3,7 +3,9 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"time"
 )
 
 // TextRenderer is a Sink that renders journal events as the human-readable
@@ -18,44 +20,133 @@ type TextRenderer struct {
 // NewTextRenderer renders events onto w.
 func NewTextRenderer(w io.Writer) *TextRenderer { return &TextRenderer{w: w} }
 
-// Emit implements Sink.
-func (t *TextRenderer) Emit(e *Event) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	f := e.Fields
-	switch e.Type {
-	case "run-start":
-		fmt.Fprintf(t.w, "run-start: budget=%v lambda=%v feature=%v modules=%v\n",
+// renderers maps every journal event type to its one-line renderer. The
+// table must cover every Type a Recorder method can emit — enforced by
+// TestRendererCoversAllEventTypes — so a new event type can never silently
+// render blank in the -v trace.
+var renderers = map[string]func(w io.Writer, e *Event){
+	"run-start": func(w io.Writer, e *Event) {
+		f := e.Fields
+		fmt.Fprintf(w, "run-start: budget=%v lambda=%v feature=%v modules=%v\n",
 			f["budget"], f["lambda"], f["feature"], f["hot_modules"])
-	case "measure":
+	},
+	"iteration": func(w io.Writer, e *Event) {
+		fmt.Fprintf(w, "iter %d (budget used %d)\n",
+			fieldInt(e.Fields, "iter"), fieldInt(e.Fields, "budget_used"))
+	},
+	"candidate-generated": func(w io.Writer, e *Event) {
+		f := e.Fields
+		fmt.Fprintf(w, "  cand      module %-14s gen %-8s len %d\n",
+			f["module"], f["generator"], fieldInt(f, "seq_len"))
+	},
+	"compile": func(w io.Writer, e *Event) {
+		f := e.Fields
+		status := "ok"
 		if !fieldBool(f, "ok") {
-			fmt.Fprintf(t.w, "  meas ---  module %-14s FAILED (differential test or build)\n", f["module"])
-			return
+			status = "FAILED"
 		}
-		if fieldBool(f, "reused") {
-			fmt.Fprintf(t.w, "  meas ---  module %-14s speedup %.3fx  (duplicate statistics, measurement reused)\n",
-				f["module"], fieldFloat(f, "speedup"))
-			return
-		}
-		fmt.Fprintf(t.w, "  meas %3d  module %-14s speedup %.3fx  best %.3fx\n",
-			fieldInt(f, "measurement"), f["module"],
-			fieldFloat(f, "speedup"), fieldFloat(f, "best"))
-	case "new-incumbent":
-		fmt.Fprintf(t.w, "  ** new incumbent: %.3fx (module %v, measurement %d)\n",
-			fieldFloat(f, "speedup"), f["module"], fieldInt(f, "measurement"))
-	case "planner-build":
-		fmt.Fprintf(t.w, "  planner: module %-14s %d nodes, %d edges (%d probes) -> %d-pass plan\n",
-			f["module"], fieldInt(f, "nodes"), fieldInt(f, "edges"),
-			fieldInt(f, "probe_compiles"), fieldInt(f, "plan_len"))
-	case "gp-fit":
+		fmt.Fprintf(w, "  compile   module %-14s %3d passes  %s (%v)\n",
+			f["module"], fieldInt(f, "seq_len"), status,
+			time.Duration(fieldInt64(f, "wall_ns")).Round(time.Microsecond))
+	},
+	"gp-fit": func(w io.Writer, e *Event) {
+		f := e.Fields
 		mode := "refit"
 		if fieldBool(f, "appended") {
 			mode = "append"
 		}
-		fmt.Fprintf(t.w, "  gp-fit: %d points, %d dims (%s)\n",
+		fmt.Fprintf(w, "  gp-fit: %d points, %d dims (%s)\n",
 			fieldInt(f, "points"), fieldInt(f, "dim"), mode)
-	case "run-end":
-		fmt.Fprintf(t.w, "run-end: best %.3fx, %d measurements, %d compilations\n",
+	},
+	"gp-stats": func(w io.Writer, e *Event) {
+		fmt.Fprintf(w, "  gp: %d full fits / %d incremental appends\n",
+			fieldInt(e.Fields, "fits"), fieldInt(e.Fields, "appends"))
+	},
+	"acq-max": func(w io.Writer, e *Event) {
+		f := e.Fields
+		dup := ""
+		if fieldBool(f, "dup") {
+			dup = " (duplicate statistics)"
+		}
+		fmt.Fprintf(w, "  acq: argmax over %d candidates -> module %v (af %.4g, %d novel dims)%s\n",
+			fieldInt(f, "candidates"), f["module"], fieldFloat(f, "af"),
+			fieldInt(f, "novel_dims"), dup)
+	},
+	"measure": func(w io.Writer, e *Event) {
+		f := e.Fields
+		if !fieldBool(f, "ok") {
+			fmt.Fprintf(w, "  meas ---  module %-14s FAILED (differential test or build)\n", f["module"])
+			return
+		}
+		if fieldBool(f, "reused") {
+			fmt.Fprintf(w, "  meas ---  module %-14s speedup %.3fx  (duplicate statistics, measurement reused)\n",
+				f["module"], fieldFloat(f, "speedup"))
+			return
+		}
+		fmt.Fprintf(w, "  meas %3d  module %-14s speedup %.3fx  best %.3fx\n",
+			fieldInt(f, "measurement"), f["module"],
+			fieldFloat(f, "speedup"), fieldFloat(f, "best"))
+	},
+	"cache-stats": func(w io.Writer, e *Event) {
+		fmt.Fprintf(w, "  cache: %d hits / %d misses\n",
+			fieldInt(e.Fields, "hits"), fieldInt(e.Fields, "misses"))
+	},
+	"prefix-cache-stats": func(w io.Writer, e *Event) {
+		f := e.Fields
+		fmt.Fprintf(w, "  prefix: %d passes saved / %d replayed (%d snapshot bytes, %d evictions)\n",
+			fieldInt(f, "saved_passes"), fieldInt(f, "replayed_passes"),
+			fieldInt64(f, "snapshot_bytes"), fieldInt(f, "evictions"))
+	},
+	"planner-build": func(w io.Writer, e *Event) {
+		f := e.Fields
+		fmt.Fprintf(w, "  planner: module %-14s %d nodes, %d edges (%d probes) -> %d-pass plan\n",
+			f["module"], fieldInt(f, "nodes"), fieldInt(f, "edges"),
+			fieldInt(f, "probe_compiles"), fieldInt(f, "plan_len"))
+	},
+	"new-incumbent": func(w io.Writer, e *Event) {
+		f := e.Fields
+		fmt.Fprintf(w, "  ** new incumbent: %.3fx (module %v, measurement %d)\n",
+			fieldFloat(f, "speedup"), f["module"], fieldInt(f, "measurement"))
+	},
+	"checkpoint": func(w io.Writer, e *Event) {
+		fmt.Fprintf(w, "  checkpoint: %d measurements, best %.3fx\n",
+			fieldInt(e.Fields, "measurements"), fieldFloat(e.Fields, "best"))
+	},
+	"resume": func(w io.Writer, e *Event) {
+		fmt.Fprintf(w, "resume: replayed %d observations, best %.3fx\n",
+			fieldInt(e.Fields, "replayed"), fieldFloat(e.Fields, "best"))
+	},
+	"run-end": func(w io.Writer, e *Event) {
+		f := e.Fields
+		fmt.Fprintf(w, "run-end: best %.3fx, %d measurements, %d compilations\n",
 			fieldFloat(f, "best_speedup"), fieldInt(f, "measurements"), fieldInt(f, "compilations"))
-	}
+	},
 }
+
+// RenderedTypes returns the sorted event types the text renderer displays.
+func RenderedTypes() []string {
+	out := make([]string, 0, len(renderers))
+	for t := range renderers {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Emit implements Sink.
+func (t *TextRenderer) Emit(e *Event) {
+	r := renderers[e.Type]
+	if r == nil {
+		// Unknown type (journal from a newer build): render raw rather than
+		// blank, so nothing is ever silently swallowed.
+		t.mu.Lock()
+		fmt.Fprintf(t.w, "  %s: %v\n", e.Type, e.Fields)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Lock()
+	r(t.w, e)
+	t.mu.Unlock()
+}
+
+func fieldInt64(f map[string]any, key string) int64 { return int64(fieldFloat(f, key)) }

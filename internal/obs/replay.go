@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -66,6 +67,54 @@ func ReadJournalFile(path string) ([]Event, error) {
 	}
 	defer f.Close()
 	return ReadJournal(f)
+}
+
+// ReadJournalLenient parses a journal that may still be growing: an
+// unterminated final line — the signature of a writer caught mid-append — is
+// silently dropped instead of failing the read, whether or not the fragment
+// happens to parse (a torn `{"seq":12` can be a valid-JSON prefix of a
+// larger event, so the missing newline is the only trustworthy signal, the
+// same rule scanJournalTail applies on restart). Newline-terminated lines
+// must all parse: a genuinely corrupt journal cannot masquerade as a live
+// one. This is the reader behind the live job-introspection endpoints, which
+// analyse journals of running jobs.
+func ReadJournalLenient(r io.Reader) ([]Event, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: journal read: %w", err)
+	}
+	var out []Event
+	line := 0
+	pos := 0
+	for pos < len(data) {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl < 0 {
+			break // unterminated tail: dropped
+		}
+		line++
+		var e Event
+		if err := json.Unmarshal(data[pos:pos+nl], &e); err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		out = append(out, e)
+		pos += nl + 1
+	}
+	return out, nil
+}
+
+// ReadJournalFileLenient reads a possibly-still-growing journal from disk,
+// tolerating a torn final line. A missing file yields an empty journal: a
+// just-submitted job simply has no events yet.
+func ReadJournalFileLenient(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJournalLenient(f)
 }
 
 // CurvePoint is one point of the best-speedup-vs-measurement curve.

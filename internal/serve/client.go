@@ -86,6 +86,26 @@ func (c *Client) Result(id string) (JobResult, error) {
 	return res, decodeOrError(resp, &res)
 }
 
+// Summary fetches the live journal analysis for a job (running or done).
+func (c *Client) Summary(id string) (JobSummary, error) {
+	resp, err := c.http().Get(c.BaseURL + "/v1/jobs/" + id + "/summary")
+	if err != nil {
+		return JobSummary{}, err
+	}
+	var sum JobSummary
+	return sum, decodeOrError(resp, &sum)
+}
+
+// Phases fetches the compact per-phase wall-time attribution for a job.
+func (c *Client) Phases(id string) (JobPhases, error) {
+	resp, err := c.http().Get(c.BaseURL + "/v1/jobs/" + id + "/phases")
+	if err != nil {
+		return JobPhases{}, err
+	}
+	var ph JobPhases
+	return ph, decodeOrError(resp, &ph)
+}
+
 // Cancel stops a job and returns its post-cancellation status.
 func (c *Client) Cancel(id string) (JobStatus, error) {
 	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)

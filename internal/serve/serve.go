@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/evalpool"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 )
 
 // Config sizes the service.
@@ -65,13 +66,25 @@ type Server struct {
 	nextID   int
 	draining bool
 
+	// met is the service-level registry; per-job phase attribution
+	// (citroen_phase_seconds) and the service gauges accumulate here.
+	met *obs.Metrics
+
 	mSubmitted   *obs.Counter
 	mDone        *obs.Counter
 	mFailed      *obs.Counter
 	mCancelled   *obs.Counter
 	mInterrupted *obs.Counter
 	mResumed     *obs.Counter
+
+	gQueueDepth *obs.Gauge
+	gRunning    *obs.Gauge
+	gState      map[State]*obs.Gauge
+	hJobWall    *obs.Histogram
 }
+
+// jobWallBuckets spans sub-second smoke jobs through hour-long tuning runs.
+var jobWallBuckets = []float64{0.1, 0.5, 1, 5, 15, 60, 300, 900, 3600}
 
 // ErrDraining rejects submissions while the server shuts down.
 var ErrDraining = errors.New("serve: server is draining")
@@ -112,6 +125,7 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*job{},
+		met:        met,
 
 		mSubmitted:   met.Counter("serve_jobs_submitted_total"),
 		mDone:        met.Counter("serve_jobs_done_total"),
@@ -119,12 +133,43 @@ func New(cfg Config) (*Server, error) {
 		mCancelled:   met.Counter("serve_jobs_cancelled_total"),
 		mInterrupted: met.Counter("serve_jobs_interrupted_total"),
 		mResumed:     met.Counter("serve_jobs_resumed_total"),
+
+		gQueueDepth: met.Gauge("citroen_serve_queue_depth"),
+		gRunning:    met.Gauge("citroen_serve_jobs_running"),
+		gState:      map[State]*obs.Gauge{},
+		hJobWall:    met.Histogram("citroen_serve_job_wall_seconds", jobWallBuckets),
+	}
+	for _, st := range []State{StateQueued, StateRunning, StateDone,
+		StateFailed, StateCancelled, StateInterrupted} {
+		s.gState[st] = met.Gauge(`citroen_serve_jobs{state="` + string(st) + `"}`)
 	}
 	if err := s.recover(); err != nil {
 		cancel()
 		return nil, err
 	}
+	s.refreshGauges()
 	return s, nil
+}
+
+// refreshGauges recomputes the queue-depth, running-count and per-state job
+// gauges from current state. Callers must not hold any job's mu (snapshot
+// locks each job in turn); holding s.mu is also forbidden.
+func (s *Server) refreshGauges() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	counts := map[State]int{}
+	for _, j := range jobs {
+		counts[j.snapshot().State]++
+	}
+	for st, g := range s.gState {
+		g.Set(float64(counts[st]))
+	}
+	s.gRunning.Set(float64(counts[StateRunning]))
+	s.gQueueDepth.Set(float64(s.queue.Backlog()))
 }
 
 // recover loads persisted jobs and re-queues the unfinished ones in id
@@ -227,6 +272,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	s.mSubmitted.Inc()
+	s.refreshGauges()
 	return j.snapshot(), nil
 }
 
@@ -293,6 +339,7 @@ func (s *Server) Cancel(id string) (JobStatus, <-chan struct{}, error) {
 	}
 	st := j.status
 	j.mu.Unlock()
+	s.refreshGauges()
 	return st, j.done, nil
 }
 
@@ -321,12 +368,13 @@ func (s *Server) runJob(j *job) {
 	j.status.StartedNS = time.Now().UnixNano()
 	writeJSONAtomic(filepath.Join(j.dir, stateFile), &j.status)
 	spec := j.status.Spec
+	started := j.status.StartedNS
 	j.mu.Unlock()
+	s.refreshGauges()
 
 	res, runErr := s.tune(ctx, j, spec)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	now := time.Now().UnixNano()
 	switch {
 	case runErr == nil:
@@ -361,6 +409,12 @@ func (s *Server) runJob(j *job) {
 		j.finishLocked(StateFailed, runErr.Error(), now)
 		s.mFailed.Inc()
 	}
+	final := j.status.State
+	j.mu.Unlock()
+	if final.terminal() && started > 0 {
+		s.hJobWall.Observe(float64(now-started) / 1e9)
+	}
+	s.refreshGauges()
 }
 
 // flushingSink forwards events to a JSONL sink and flushes after each one so
@@ -396,7 +450,10 @@ func (s *Server) tune(ctx context.Context, j *job, spec JobSpec) (*core.Result, 
 	defer sink.Close()
 
 	opts := spec.options()
-	opts.Sink = flushingSink{sink}
+	// The phase sink feeds citroen_phase_seconds{phase=...} on the SERVICE
+	// registry from the same Attribution state machine the /summary endpoint
+	// uses, so Prometheus and the offline report can never disagree.
+	opts.Sink = obs.Multi(flushingSink{sink}, analyze.NewPhaseSink(s.met))
 	opts.Metrics = met
 	ckptPath := filepath.Join(j.dir, checkpointFile)
 	opts.Checkpoint = func(c *core.Checkpoint) error {
