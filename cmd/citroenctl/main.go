@@ -10,6 +10,7 @@
 //	citroenctl [-addr URL] wait <job-id>
 //	citroenctl [-addr URL] result <job-id>
 //	citroenctl [-addr URL] summary <job-id> [-json]
+//	citroenctl [-addr URL] runners [-json]
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 func main() {
 	addr := flag.String("addr", "http://localhost:8171", "citroend base URL")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: citroenctl [-addr URL] <submit|status|list|events|cancel|wait|result|summary> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: citroenctl [-addr URL] <submit|status|list|events|cancel|wait|result|summary|runners> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,6 +57,8 @@ func main() {
 		err = cmdResult(c, args)
 	case "summary":
 		err = cmdSummary(c, args)
+	case "runners":
+		err = cmdRunners(c, args)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -220,6 +223,31 @@ func cmdSummary(c *serve.Client, args []string) error {
 	}
 	fmt.Println()
 	analyze.WriteReport(os.Stdout, sum.Report)
+	return nil
+}
+
+// cmdRunners lists the fleet's registered evaluation runners (requires a
+// server started with -fleet).
+func cmdRunners(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("runners", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print the raw RunnerInfo JSON")
+	fs.Parse(args)
+	runners, err := c.Runners()
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return printJSON(runners)
+	}
+	if len(runners) == 0 {
+		fmt.Println("no runners registered")
+		return nil
+	}
+	for _, r := range runners {
+		beat := time.Since(time.Unix(0, r.LastBeatNS)).Round(time.Millisecond)
+		fmt.Printf("%-4s  %-12s  %-30s  workers %-3d  batches %-6d  failures %-4d  last beat %s ago\n",
+			r.ID, r.State, r.URL, r.Workers, r.Batches, r.Failures, beat)
+	}
 	return nil
 }
 

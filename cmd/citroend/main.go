@@ -7,6 +7,11 @@
 //
 //	citroend -addr localhost:8171 -dir ./jobs
 //	citroend -addr localhost:8171 -dir ./jobs -runners 2 -checkpoint-every 10
+//	citroend -addr localhost:8171 -dir ./jobs -fleet
+//
+// With -fleet, candidate evaluation is dispatched to remote citroenrunner
+// processes that register against this server (see cmd/citroenrunner);
+// jobs run locally while no runner is registered.
 //
 // Submit and follow jobs with citroenctl.
 package main
@@ -22,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -35,16 +41,32 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 5, "default measurements between checkpoints")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs to checkpoint on shutdown")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address")
+
+		fleetMode   = flag.Bool("fleet", false, "dispatch candidate evaluation to remote citroenrunner processes")
+		stealAfter  = flag.Duration("steal-after", 30*time.Second, "fleet: duplicate a straggler batch onto another runner after this long")
+		beatTimeout = flag.Duration("heartbeat-timeout", 5*time.Second, "fleet: mark a runner lost when its heartbeat is older than this")
 	)
 	flag.Parse()
 
 	metrics := obs.NewMetrics()
+	var coord *fleet.Coordinator
+	if *fleetMode {
+		coord = fleet.New(fleet.Options{
+			HeartbeatTimeout: *beatTimeout,
+			StealAfter:       *stealAfter,
+			Metrics:          metrics,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+	}
 	s, err := serve.New(serve.Config{
 		Dir:             *dir,
 		QueueCap:        *queueCap,
 		Runners:         *runners,
 		CheckpointEvery: *ckptEvery,
 		Metrics:         metrics,
+		Fleet:           coord,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -69,7 +91,11 @@ func main() {
 	httpSrv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Printf("citroend listening on http://%s (jobs in %s)\n", ln.Addr(), *dir)
+	mode := ""
+	if coord != nil {
+		mode = ", fleet dispatch on — point citroenrunner at this address"
+	}
+	fmt.Printf("citroend listening on http://%s (jobs in %s%s)\n", ln.Addr(), *dir, mode)
 
 	// Graceful shutdown: stop accepting, cancel running jobs (each takes a
 	// final checkpoint and resumes on the next start), then exit.

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/evalpool"
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// TaskSpec is the serializable unit of batched evaluation work: one module
+// rebuilt under one pass sequence (nil = the -O3 baseline pipeline). The
+// fleet coordinator ships slices of these to remote runners as JSON.
+type TaskSpec struct {
+	Module string   `json:"module"`
+	Seq    []string `json:"seq,omitempty"`
+}
+
+// BatchItem is the in-process result of one TaskSpec: the compiled module
+// (for feature extraction next to the compile), its statistics, and the
+// compile outcome. Mod never crosses the wire — remote runners reduce it to
+// a feature map before responding.
+type BatchItem struct {
+	Ok    bool
+	Err   string
+	Stats passes.Stats
+	Wall  time.Duration
+	Mod   *ir.Module
+}
+
+// CounterDelta is the evaluator work accounting attributable to one batch:
+// the change in cache/prefix counters across RunBatch. A coordinator sums
+// accepted batch deltas onto its own evaluator's counters to reproduce the
+// single-process totals (SnapshotBytes is a net byte change, so eviction
+// inside a batch subtracts).
+type CounterDelta struct {
+	CacheHits      int   `json:"cache_hits"`
+	CacheMisses    int   `json:"cache_misses"`
+	PrefixSaved    int   `json:"prefix_saved"`
+	PrefixReplayed int   `json:"prefix_replayed"`
+	SnapshotBytes  int64 `json:"snapshot_bytes"`
+	Evictions      int   `json:"evictions"`
+	Compilations   int   `json:"compilations"`
+}
+
+// Add accumulates other into d.
+func (d *CounterDelta) Add(other CounterDelta) {
+	d.CacheHits += other.CacheHits
+	d.CacheMisses += other.CacheMisses
+	d.PrefixSaved += other.PrefixSaved
+	d.PrefixReplayed += other.PrefixReplayed
+	d.SnapshotBytes += other.SnapshotBytes
+	d.Evictions += other.Evictions
+	d.Compilations += other.Compilations
+}
+
+// counterSnap is a point-in-time copy of the batch-relevant counters.
+type counterSnap struct {
+	hits, miss, saved, replayed, evict, comps int
+	bytes                                     int64
+}
+
+func (ev *Evaluator) counterSnapshot() counterSnap {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return counterSnap{
+		hits: ev.cacheHits, miss: ev.cacheMiss,
+		saved: ev.prefixSaved, replayed: ev.prefixReplayed,
+		evict: ev.snapEvict, comps: ev.Compilations,
+		bytes: ev.snapBytes,
+	}
+}
+
+func (after counterSnap) sub(before counterSnap) CounterDelta {
+	return CounterDelta{
+		CacheHits:      after.hits - before.hits,
+		CacheMisses:    after.miss - before.miss,
+		PrefixSaved:    after.saved - before.saved,
+		PrefixReplayed: after.replayed - before.replayed,
+		SnapshotBytes:  after.bytes - before.bytes,
+		Evictions:      after.evict - before.evict,
+		Compilations:   after.comps - before.comps,
+	}
+}
+
+// RunBatch compiles every spec (dataset 0) honouring the group structure —
+// indices inside one group run serially in order so prefix-siblings resume
+// from each other's snapshots; distinct groups fan out across workers — and
+// returns per-spec results plus the counter delta the batch caused. Batches
+// are serialised per evaluator (batchMu) so the delta is attributable to
+// exactly this batch; a cancelled ctx leaves unexecuted items !Ok with the
+// context error returned.
+func (ev *Evaluator) RunBatch(ctx context.Context, specs []TaskSpec, groups [][]int, workers int) ([]BatchItem, CounterDelta, error) {
+	ev.batchMu.Lock()
+	defer ev.batchMu.Unlock()
+	before := ev.counterSnapshot()
+	items := make([]BatchItem, len(specs))
+	pool := evalpool.New(workers)
+	err := pool.MapGroupsCtx(ctx, groups, func(i int) {
+		s := specs[i]
+		tc := time.Now()
+		m, st, cerr := ev.compiledFor(ctx, 0, s.Module, s.Seq)
+		items[i].Wall = time.Since(tc)
+		if cerr != nil {
+			items[i].Err = cerr.Error()
+			return
+		}
+		items[i].Mod, items[i].Stats, items[i].Ok = m, st, true
+	})
+	return items, ev.counterSnapshot().sub(before), err
+}
+
+// WarmCompile compiles (dataset 0, module, seq) with all work accounting
+// suppressed: no hit/miss/compilation/prefix counters move, and any
+// snapshot bytes it retains are tracked in WarmBytes instead of counting as
+// search work. The coordinator uses it to pre-install a remotely-compiled
+// candidate into the measuring evaluator's cache, so the measure path's
+// dataset-0 compile hits exactly as it would have single-process.
+func (ev *Evaluator) WarmCompile(ctx context.Context, module string, seq []string) error {
+	_, _, err := ev.compiledForMode(ctx, 0, module, seq, false)
+	return err
+}
+
+// WarmBytes reports the snapshot bytes currently retained by uncounted
+// warm compiles — the portion of PrefixCounters' snapshotBytes that
+// distributed aggregation must subtract (the same cache entries are counted
+// on the runner that really compiled the candidate).
+func (ev *Evaluator) WarmBytes() int64 {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.warmBytes
+}

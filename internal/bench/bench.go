@@ -286,10 +286,18 @@ type Evaluator struct {
 
 	// Prefix accounting: passes skipped by resuming from snapshots vs passes
 	// actually executed, current snapshot bytes, snapshots evicted.
+	// warmBytes tracks the subset of snapBytes created by uncounted
+	// WarmCompile builds (see compiledForMode).
 	prefixSaved    int
 	prefixReplayed int
 	snapBytes      int64
 	snapEvict      int
+	warmBytes      int64
+
+	// batchMu serialises RunBatch calls so each batch's counter delta is
+	// attributable to exactly that batch (see batch.go). Independent of mu:
+	// individual compiles stay concurrent inside a batch.
+	batchMu sync.Mutex
 
 	// Counters for Fig 5.12-style accounting. Compilations counts actual
 	// pass-pipeline executions (cache hits do not re-run pipelines).

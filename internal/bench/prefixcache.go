@@ -66,6 +66,7 @@ type snapEntry struct {
 	elem     *list.Element
 	verified bool  // final verification ran (eagerly for final states, lazily for interior)
 	verr     error // result of that verification
+	warm     bool  // created by an uncounted warm compile (bytes mirrored in warmBytes)
 }
 
 // flight is one in-progress compilation of a full (dataset, module, sequence)
@@ -228,15 +229,21 @@ func (ev *Evaluator) deepestPrefixLocked(ds int, module string, hashes []uint64,
 }
 
 // insertSnapLocked publishes a snapshot and evicts past the entry cap and
-// byte budget. Caller holds ev.mu.
-func (ev *Evaluator) insertSnapLocked(key snapKey, ps pendingSnap) {
+// byte budget. warm marks snapshots created by uncounted warm compiles:
+// their bytes are additionally tracked in warmBytes (and released from it
+// on eviction) so aggregated distributed accounting can subtract them.
+// Caller holds ev.mu.
+func (ev *Evaluator) insertSnapLocked(key snapKey, ps pendingSnap, warm bool) {
 	if _, ok := ev.snaps[key]; ok {
 		return // a concurrent build of an overlapping sequence won the race
 	}
-	se := &snapEntry{key: key, mod: ps.mod, stats: ps.stats, fp: ps.fp, fpOK: ps.fpOK, bytes: ps.bytes, verified: ps.verified}
+	se := &snapEntry{key: key, mod: ps.mod, stats: ps.stats, fp: ps.fp, fpOK: ps.fpOK, bytes: ps.bytes, verified: ps.verified, warm: warm}
 	se.elem = ev.lru.PushFront(se)
 	ev.snaps[key] = se.elem
 	ev.snapBytes += se.bytes
+	if warm {
+		ev.warmBytes += se.bytes
+	}
 	capacity := ev.CacheCap
 	if capacity == 0 {
 		capacity = DefaultCacheCap
@@ -254,6 +261,9 @@ func (ev *Evaluator) insertSnapLocked(key snapKey, ps pendingSnap) {
 		ev.lru.Remove(back)
 		delete(ev.snaps, old.key)
 		ev.snapBytes -= old.bytes
+		if old.warm {
+			ev.warmBytes -= old.bytes
+		}
 		ev.snapEvict++
 		if ev.obsEvict != nil {
 			ev.obsEvict.Inc()
@@ -271,6 +281,18 @@ func (ev *Evaluator) insertSnapLocked(key snapKey, ps pendingSnap) {
 // entirely, and concurrent requests for the same build are deduplicated so
 // only one pipeline runs (the others wait and clone its result).
 func (ev *Evaluator) compiledFor(ctx context.Context, ds int, name string, seq []string) (*ir.Module, passes.Stats, error) {
+	return ev.compiledForMode(ctx, ds, name, seq, true)
+}
+
+// compiledForMode is compiledFor with the work accounting made optional.
+// counted=false is the warm-compile mode: the build runs (or hits) exactly
+// as usual and publishes the same snapshots, but bumps no hit/miss/
+// compilation/prefix counters, and the bytes its snapshots retain are
+// tracked separately in warmBytes so distributed counter aggregation can
+// subtract them (the same entries are counted where the candidate compile
+// really ran). Snapshot bytes themselves always accrue — they are real
+// memory either way.
+func (ev *Evaluator) compiledForMode(ctx context.Context, ds int, name string, seq []string, counted bool) (*ir.Module, passes.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -293,13 +315,15 @@ func (ev *Evaluator) compiledFor(ctx context.Context, ds int, name string, seq [
 	if ev.CacheCap < 0 {
 		// Memoisation disabled entirely (the pre-cache behaviour): compile
 		// from pristine, retain nothing.
-		ev.mu.Lock()
-		ev.Compilations++
-		ev.prefixReplayed += len(names)
-		ev.mu.Unlock()
-		if ev.obsComp != nil {
-			ev.obsComp.Inc()
-			ev.obsReplayed.Add(int64(len(names)))
+		if counted {
+			ev.mu.Lock()
+			ev.Compilations++
+			ev.prefixReplayed += len(names)
+			ev.mu.Unlock()
+			if ev.obsComp != nil {
+				ev.obsComp.Inc()
+				ev.obsReplayed.Add(int64(len(names)))
+			}
 		}
 		c := pristine.Clone()
 		st := passes.Stats{}
@@ -328,11 +352,13 @@ func (ev *Evaluator) compiledFor(ctx context.Context, ds int, name string, seq [
 		if e, ok := ev.snaps[fullKey]; ok {
 			ev.lru.MoveToFront(e)
 			se := e.Value.(*snapEntry)
-			ev.cacheHits++
+			if counted {
+				ev.cacheHits++
+			}
 			mod, st := se.mod, se.stats
 			verified, verr := se.verified, se.verr
 			ev.mu.Unlock()
-			if ev.obsHits != nil {
+			if counted && ev.obsHits != nil {
 				ev.obsHits.Inc()
 			}
 			if !verified {
@@ -360,11 +386,13 @@ func (ev *Evaluator) compiledFor(ctx context.Context, ds int, name string, seq [
 				return nil, nil, ctx.Err()
 			}
 			if fl.err == nil {
-				ev.mu.Lock()
-				ev.cacheHits++
-				ev.mu.Unlock()
-				if ev.obsHits != nil {
-					ev.obsHits.Inc()
+				if counted {
+					ev.mu.Lock()
+					ev.cacheHits++
+					ev.mu.Unlock()
+					if ev.obsHits != nil {
+						ev.obsHits.Inc()
+					}
 				}
 				return fl.mod.Clone(), fl.stats.Clone(), nil
 			}
@@ -389,19 +417,21 @@ func (ev *Evaluator) compiledFor(ctx context.Context, ds int, name string, seq [
 		if base != nil {
 			baseMod, baseSt, baseFp, baseFpOK, depth = base.mod, base.stats, base.fp, base.fpOK, base.key.depth
 		}
-		ev.cacheMiss++
-		ev.Compilations++
-		ev.prefixSaved += depth
-		ev.prefixReplayed += total - depth
+		if counted {
+			ev.cacheMiss++
+			ev.Compilations++
+			ev.prefixSaved += depth
+			ev.prefixReplayed += total - depth
+		}
 		ev.mu.Unlock()
-		if ev.obsMiss != nil {
+		if counted && ev.obsMiss != nil {
 			ev.obsMiss.Inc()
 			ev.obsComp.Inc()
 			ev.obsSaved.Add(int64(depth))
 			ev.obsReplayed.Add(int64(total - depth))
 		}
 
-		mod, st, err := ev.leadCompile(fl, flKey, fullKey, pristine, plist, hashes, baseMod, baseSt, baseFp, baseFpOK, depth)
+		mod, st, err := ev.leadCompile(fl, flKey, fullKey, pristine, plist, hashes, baseMod, baseSt, baseFp, baseFpOK, depth, counted)
 		ev.updateAnalysisGauges()
 		return mod, st, err
 	}
@@ -410,7 +440,7 @@ func (ev *Evaluator) compiledFor(ctx context.Context, ds int, name string, seq [
 // leadCompile runs the pipeline suffix for a registered flight and publishes
 // the resulting snapshots. It always completes the flight, even on a panic in
 // a pass, so waiting followers never wedge.
-func (ev *Evaluator) leadCompile(fl *flight, flKey seqKey, fullKey snapKey, pristine *ir.Module, plist []*passes.Pass, hashes []uint64, baseMod *ir.Module, baseSt passes.Stats, baseFp uint64, baseFpOK bool, depth int) (*ir.Module, passes.Stats, error) {
+func (ev *Evaluator) leadCompile(fl *flight, flKey seqKey, fullKey snapKey, pristine *ir.Module, plist []*passes.Pass, hashes []uint64, baseMod *ir.Module, baseSt passes.Stats, baseFp uint64, baseFpOK bool, depth int, counted bool) (*ir.Module, passes.Stats, error) {
 	var (
 		c   *ir.Module
 		st  passes.Stats
@@ -439,7 +469,7 @@ func (ev *Evaluator) leadCompile(fl *flight, flKey seqKey, fullKey snapKey, pris
 	ev.mu.Lock()
 	var final *ir.Module
 	for _, ps := range snaps {
-		ev.insertSnapLocked(snapKey{dataset: fullKey.dataset, module: fullKey.module, hash: hashes[ps.depth], depth: ps.depth}, ps)
+		ev.insertSnapLocked(snapKey{dataset: fullKey.dataset, module: fullKey.module, hash: hashes[ps.depth], depth: ps.depth}, ps, !counted)
 		if ps.depth == len(plist) {
 			final = ps.mod
 		}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/evalpool"
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// CompileSpec names one candidate compilation: a module rebuilt under a pass
+// sequence. It is the serializable unit of work an evaluation backend
+// dispatches — the fleet coordinator ships batches of these to remote
+// runners as JSON.
+type CompileSpec struct {
+	Module string `json:"module"`
+	// Seq is the pass sequence; nil means the -O3 baseline pipeline.
+	Seq []string `json:"seq,omitempty"`
+}
+
+// CompileOutcome is the result of one CompileSpec. Feature and Stats are
+// computed where the compile ran (features round-trip exactly through JSON:
+// float64 values survive encoding bit-for-bit), so remote execution never
+// has to serialize IR modules.
+type CompileOutcome struct {
+	Ok      bool
+	Err     string // compile error message when !Ok
+	Feature map[string]float64
+	Stats   passes.Stats
+	Wall    time.Duration
+}
+
+// EvalIncident describes one dispatch-level anomaly an evaluation backend
+// observed while executing a fan-out: retries, steals, discarded duplicate
+// results, quarantines, local fallbacks. The tuner journals incidents
+// serially after the fan-out barrier (see obs.Recorder.FleetIncident), so a
+// healthy fixed fleet — which reports none — keeps its canonical journal
+// byte-identical to a single-process run.
+type EvalIncident struct {
+	Kind    string // "retry" | "steal" | "duplicate-discarded" | "quarantine" | "local-fallback"
+	Runner  string
+	Module  string
+	Attempt int
+}
+
+// EvalBackend abstracts where candidate compilations execute. The default
+// backend runs them on the tuner's in-process evalpool; the fleet backend
+// dispatches them to remote runner processes. Implementations must honour
+// the grouping contract: indices inside one group run serially in order
+// (prefix-siblings resume from each other's snapshots), distinct groups may
+// run concurrently, and out[i] is written by exactly one executor.
+type EvalBackend interface {
+	// CompileGroups executes every spec, writing outcomes into out (same
+	// length as specs) and returning any dispatch incidents. Cancellation is
+	// graceful: unexecuted specs keep Ok == false and the caller checks its
+	// own context.
+	CompileGroups(ctx context.Context, specs []CompileSpec, groups [][]int, out []CompileOutcome) []EvalIncident
+	// EnsureLocal makes (module, seq) compilable as a cache hit on the
+	// process that runs measurements. The local backend's evaluator compiled
+	// it in place, so this is a no-op there; the fleet backend warm-compiles
+	// the selected candidate on the coordinator (uncounted) so the measure
+	// path's dataset-0 compile hits exactly as it does single-process.
+	EnsureLocal(ctx context.Context, module string, seq []string) error
+}
+
+// ExtractFeatures builds the model's feature map for one compiled module.
+// A nil seq is normalised to the -O3 pipeline first (it only matters for
+// FeatRawSeq, where the sequence itself is the representation). Exported so
+// remote runners extract features next to the compile instead of shipping
+// IR modules over the wire.
+func ExtractFeatures(kind FeatureKind, m *ir.Module, st passes.Stats, seq []string) map[string]float64 {
+	if seq == nil {
+		seq = passes.O3Sequence()
+	}
+	return extract(kind, m, st, seq)
+}
+
+// FeatureKindFromString parses the CLI/API spelling of a feature kind. The
+// empty string selects FeatStats, matching the serve API's default.
+func FeatureKindFromString(s string) (FeatureKind, bool) {
+	switch s {
+	case "", "stats":
+		return FeatStats, true
+	case "autophase":
+		return FeatAutophase, true
+	case "tokenmix":
+		return FeatTokenMix, true
+	case "rawseq":
+		return FeatRawSeq, true
+	}
+	return FeatStats, false
+}
+
+// poolBackend is the default EvalBackend: compile on the tuner's own
+// evalpool via the Task, extract features in-process. Its behaviour —
+// counters, cache interactions, journal events — is exactly the pre-backend
+// evalpool path.
+type poolBackend struct {
+	pool *evalpool.Pool
+	task Task
+	feat FeatureKind
+}
+
+func (b *poolBackend) CompileGroups(ctx context.Context, specs []CompileSpec, groups [][]int, out []CompileOutcome) []EvalIncident {
+	b.pool.MapGroupsCtx(ctx, groups, func(i int) {
+		s := specs[i]
+		tc := time.Now()
+		m, st, err := b.task.CompileModule(ctx, s.Module, s.Seq)
+		out[i].Wall = time.Since(tc)
+		if err != nil {
+			out[i].Err = err.Error()
+			return
+		}
+		out[i].Stats = st
+		out[i].Feature = ExtractFeatures(b.feat, m, st, s.Seq)
+		out[i].Ok = true
+	})
+	return nil
+}
+
+func (b *poolBackend) EnsureLocal(context.Context, string, []string) error { return nil }
+
+// backendCompileOne routes a single compilation through the backend (a
+// one-spec batch), journalling any incidents, and surfaces the outcome's
+// error as a Go error for the serial call sites (greedy probes, selected-
+// candidate compiles).
+func (t *Tuner) backendCompileOne(module string, seq []string) (CompileOutcome, error) {
+	specs := []CompileSpec{{Module: module, Seq: seq}}
+	out := make([]CompileOutcome, 1)
+	t.journalIncidents(t.backend.CompileGroups(t.runCtx(), specs, [][]int{{0}}, out))
+	if !out[0].Ok {
+		msg := out[0].Err
+		if msg == "" {
+			msg = "compile failed"
+		}
+		return out[0], errors.New(msg)
+	}
+	return out[0], nil
+}
+
+// journalIncidents emits dispatch incidents serially on the tuner
+// goroutine, sorted so concurrent dispatch cannot reorder them run to run.
+func (t *Tuner) journalIncidents(incs []EvalIncident) {
+	if len(incs) == 0 || !t.rec.Enabled() {
+		return
+	}
+	sort.Slice(incs, func(i, j int) bool {
+		a, b := incs[i], incs[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		if a.Attempt != b.Attempt {
+			return a.Attempt < b.Attempt
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Runner < b.Runner
+	})
+	for _, in := range incs {
+		t.rec.FleetIncident(t.curSpan, in.Kind, in.Runner, in.Module, in.Attempt)
+	}
+}

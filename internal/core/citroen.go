@@ -100,6 +100,13 @@ type Options struct {
 	// CheckpointEvery additionally fires the Checkpoint hook every N consumed
 	// measurements; 0 means final-only.
 	CheckpointEvery int
+	// Backend overrides where candidate compilations execute. nil uses the
+	// in-process evalpool (the default, single-process behaviour); the fleet
+	// coordinator installs a backend that dispatches compile batches to
+	// remote runner processes. Runtime measurements always stay local —
+	// before each one the tuner calls Backend.EnsureLocal so the measuring
+	// evaluator's cache state matches the single-process run.
+	Backend EvalBackend
 	// ResumeFrom warm-starts the run by replaying a prior checkpoint's
 	// observations into the model, generators and incumbent tracking. The
 	// replayed observations count against Budget (they were paid for by the
@@ -206,12 +213,13 @@ type moduleState struct {
 
 // Tuner runs CITROEN on a Task.
 type Tuner struct {
-	task Task
-	opts Options
-	rng  *rand.Rand
-	pool *evalpool.Pool
-	seed int64
-	ctx  context.Context // run context; set by RunContext, nil before
+	task    Task
+	opts    Options
+	rng     *rand.Rand
+	pool    *evalpool.Pool
+	backend EvalBackend
+	seed    int64
+	ctx     context.Context // run context; set by RunContext, nil before
 
 	vocab   []string
 	vIndex  map[string]int
@@ -301,6 +309,10 @@ func NewTuner(task Task, opts Options, seed int64) *Tuner {
 		hPlan:    met.Histogram("citroen_greedy_plan_seconds", obs.DurationBuckets),
 	}
 	t.mMeas0, t.mComp0 = t.mMeas.Value(), t.mComp.Value()
+	t.backend = opts.Backend
+	if t.backend == nil {
+		t.backend = &poolBackend{pool: t.pool, task: task, feat: opts.Feature}
+	}
 	if t.opts.GPOpts.Workers == 0 {
 		// -workers drives the surrogate too: parallel fit restarts, sharded
 		// gradients and batched prediction, all bit-identical to serial.
@@ -443,34 +455,31 @@ func (t *Tuner) RunContext(ctx context.Context) (*Result, error) {
 
 	// Per-module state: O3 baseline features, generator portfolios. The
 	// baseline compiles are independent of each other and of the tuner RNG,
-	// so they fan out across the pool; results are indexed by hot order.
+	// so they fan out through the evaluation backend (singleton groups = a
+	// plain parallel map); results are indexed by hot order.
 	o3Indices := t.knownIndices(passes.O3Sequence())
-	baseFeats := make([]sparseVec, len(hot))
-	baseErrs := make([]error, len(hot))
-	baseDurs := make([]time.Duration, len(hot))
-	t.pool.MapCtx(t.ctx, len(hot), func(i int) {
-		tc := time.Now()
-		m, st, err := t.task.CompileModule(t.ctx, hot[i], nil)
-		baseDurs[i] = time.Since(tc)
-		if err != nil {
-			baseErrs[i] = fmt.Errorf("core: baseline compile of %s: %w", hot[i], err)
-			return
-		}
-		baseFeats[i] = extract(t.opts.Feature, m, st, passes.O3Sequence())
-	})
+	baseSpecs := make([]CompileSpec, len(hot))
+	baseGroups := make([][]int, len(hot))
+	for i, name := range hot {
+		baseSpecs[i] = CompileSpec{Module: name} // nil seq = -O3
+		baseGroups[i] = []int{i}
+	}
+	baseOuts := make([]CompileOutcome, len(hot))
+	baseIncs := t.backend.CompileGroups(t.ctx, baseSpecs, baseGroups, baseOuts)
 	if err := t.ctx.Err(); err != nil {
 		return nil, err
 	}
+	t.journalIncidents(baseIncs)
 	for i, name := range hot {
-		if baseErrs[i] != nil {
-			return nil, baseErrs[i]
+		if !baseOuts[i].Ok {
+			return nil, fmt.Errorf("core: baseline compile of %s: %s", name, baseOuts[i].Err)
 		}
 		// Journaled serially in hot order, after the fan-out barrier.
-		t.rec.Compile(t.runSpan, name, len(o3Indices), hashSeq(o3Indices), true, baseDurs[i])
+		t.rec.Compile(t.runSpan, name, len(o3Indices), hashSeq(o3Indices), true, baseOuts[i].Wall)
 		ms := &moduleState{
 			name:     name,
 			bestY:    1.0,
-			baseFeat: baseFeats[i],
+			baseFeat: sparseVec(baseOuts[i].Feature),
 		}
 		ms.bestFeat = ms.baseFeat
 		ms.bestSeq = nil // nil = O3
@@ -636,10 +645,12 @@ func (t *Tuner) seedGreedyPlans(used *int) error {
 		var probeWall time.Duration
 		g, err := planner.BuildFromPrefixProbes(func(seq []string) (passes.Stats, error) {
 			probes++
-			tc := time.Now()
-			_, st, err := t.task.CompileModule(t.ctx, ms.name, seq)
-			probeWall += time.Since(tc)
-			return st, err
+			out, err := t.backendCompileOne(ms.name, seq)
+			probeWall += out.Wall
+			if err != nil {
+				return nil, err
+			}
+			return out.Stats, nil
 		}, probe, t.vocab, t.opts.GreedyDecay)
 		if err != nil {
 			return fmt.Errorf("core: greedy planner probe of %s: %w", ms.name, err)
@@ -897,30 +908,33 @@ func (t *Tuner) proposeCandidate() (candidate, map[string]sparseVec, bool) {
 	}
 
 	// Phase 2 (parallel): compile and feature-extract all Lambda × |targets|
-	// candidates. Jobs are grouped by shared sequence prefix and each group
-	// runs serially on one worker, so the first build of a group publishes
-	// the prefix snapshots its siblings resume from (mutation-heavy
-	// generators emit many candidates differing only near the tail), while
-	// distinct groups still fan out across the pool. Grouping is computed
-	// serially from submit-order data and every worker writes only its own
-	// submit-order slot, so the results stay independent of Options.Workers.
-	// On cancellation unclaimed jobs stay !ok and are skipped by scoring.
+	// candidates through the evaluation backend. Jobs are grouped by shared
+	// sequence prefix and each group runs serially in order, so the first
+	// build of a group publishes the prefix snapshots its siblings resume
+	// from (mutation-heavy generators emit many candidates differing only
+	// near the tail), while distinct groups still fan out — across the local
+	// pool, or across fleet runners (sticky per module, so each runner's
+	// cache evolves exactly like the single shared cache's restriction to
+	// its modules). Grouping is computed serially from submit-order data and
+	// every executor writes only its own submit-order slot, so the results
+	// stay independent of Options.Workers and of the fleet size. On
+	// cancellation unexecuted jobs stay !ok and are skipped by scoring.
 	ctx := t.runCtx()
 	names := make([][]string, len(jobs))
+	specs := make([]CompileSpec, len(jobs))
 	for i := range jobs {
 		names[i] = t.seqStrings(jobs[i].seq)
+		specs[i] = CompileSpec{Module: jobs[i].ms.name, Seq: names[i]}
 	}
-	t.pool.MapGroupsCtx(ctx, groupByPrefix(jobs, names), func(i int) {
-		j := &jobs[i]
-		tc := time.Now()
-		m, st, err := t.task.CompileModule(ctx, j.ms.name, names[i])
-		j.compile = time.Since(tc)
-		if err != nil {
-			return
+	outs := make([]CompileOutcome, len(jobs))
+	t.journalIncidents(t.backend.CompileGroups(ctx, specs, groupByPrefix(jobs, names), outs))
+	for i := range jobs {
+		jobs[i].compile = outs[i].Wall
+		if outs[i].Ok {
+			jobs[i].fv = sparseVec(outs[i].Feature)
+			jobs[i].ok = true
 		}
-		j.fv = extract(t.opts.Feature, m, st, names[i])
-		j.ok = true
-	})
+	}
 
 	// Phase 3 (serial): account, then score, in submit order. The journal
 	// events, counters, the model-free acquisition draw (t.rng.Float64())
@@ -1029,26 +1043,21 @@ func (t *Tuner) bestObservedY() float64 {
 	return best
 }
 
-// compileCandidate compiles seq for ms's module and extracts features.
+// compileCandidate compiles seq for ms's module (through the evaluation
+// backend) and extracts features.
 func (t *Tuner) compileCandidate(ms *moduleState, seq []int) (sparseVec, bool) {
-	tc := time.Now()
-	ok := false
-	defer func() {
-		wall := time.Since(tc)
-		t.res.Breakdown.Compile += wall
-		t.hCompile.Observe(wall.Seconds())
-		if t.rec.Enabled() {
-			t.rec.Compile(t.curSpan, ms.name, len(seq), hashSeq(seq), ok, wall)
-		}
-	}()
 	t.candsCompiled++
 	t.mComp.Inc()
-	m, st, err := t.task.CompileModule(t.runCtx(), ms.name, t.seqStrings(seq))
+	out, err := t.backendCompileOne(ms.name, t.seqStrings(seq))
+	t.res.Breakdown.Compile += out.Wall
+	t.hCompile.Observe(out.Wall.Seconds())
+	if t.rec.Enabled() {
+		t.rec.Compile(t.curSpan, ms.name, len(seq), hashSeq(seq), err == nil, out.Wall)
+	}
 	if err != nil {
 		return nil, false
 	}
-	ok = true
-	return extract(t.opts.Feature, m, st, t.seqStrings(seq)), true
+	return sparseVec(out.Feature), true
 }
 
 // measureCandidate profiles the program with ms's module rebuilt under seq.
@@ -1078,6 +1087,17 @@ func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]
 		return false
 	}
 	prevBest := t.bestObservedY()
+	// A remote backend compiled the candidate elsewhere; warm the measuring
+	// evaluator so the measure path's compile hits exactly as single-process
+	// (a no-op on the local backend).
+	if err := t.backend.EnsureLocal(t.runCtx(), ms.name, t.seqStrings(seq)); err != nil {
+		if t.runCtx().Err() != nil {
+			return false
+		}
+		t.rec.Measure(t.curSpan, ms.name, 0, 0, 0, 1/prevBest, false, false, 0)
+		t.tellGenerators(ms, seq, 10)
+		return false
+	}
 	seqs := t.currentSequences()
 	seqs[ms.name] = t.seqStrings(seq)
 	tm := time.Now()

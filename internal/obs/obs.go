@@ -479,6 +479,24 @@ func (r *Recorder) Resume(parent int64, replayed int, best float64) {
 	})
 }
 
+// FleetIncident records one distributed-dispatch anomaly: a batch retried
+// after a runner failure ("retry"), a straggler batch duplicated onto a
+// second runner ("steal"), a losing duplicate result thrown away
+// ("duplicate-discarded"), a runner quarantined after repeated failures
+// ("quarantine"), or a batch executed on the coordinator because no runner
+// was available ("local-fallback"). attempt is the dispatch attempt the
+// incident belongs to (1-based). Healthy fixed fleets emit none of these,
+// which is what keeps their canonical journals byte-identical to a
+// single-process run.
+func (r *Recorder) FleetIncident(parent int64, kind, runner, module string, attempt int) {
+	if r == nil {
+		return
+	}
+	r.emit("fleet-incident", -1, parent, map[string]any{
+		"kind": kind, "runner": runner, "module": module, "attempt": attempt,
+	})
+}
+
 // RunEnd closes the run with its result summary. Guard the summary-map
 // construction with Enabled().
 func (r *Recorder) RunEnd(runSpan int64, summary map[string]any) {

@@ -103,6 +103,11 @@ var renderers = map[string]func(w io.Writer, e *Event){
 			f["module"], fieldInt(f, "nodes"), fieldInt(f, "edges"),
 			fieldInt(f, "probe_compiles"), fieldInt(f, "plan_len"))
 	},
+	"fleet-incident": func(w io.Writer, e *Event) {
+		f := e.Fields
+		fmt.Fprintf(w, "  fleet: %v runner %v module %v (attempt %d)\n",
+			f["kind"], f["runner"], f["module"], fieldInt(f, "attempt"))
+	},
 	"new-incumbent": func(w io.Writer, e *Event) {
 		f := e.Fields
 		fmt.Fprintf(w, "  ** new incumbent: %.3fx (module %v, measurement %d)\n",

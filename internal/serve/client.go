@@ -6,8 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strings"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 // Client talks to a citroend server.
@@ -26,15 +30,47 @@ func (c *Client) http() *http.Client {
 	return &http.Client{}
 }
 
-// decodeOrError maps non-2xx responses onto the server's error body.
+// HTTPError is a non-2xx server response: the status code plus the decoded
+// error body (or, when the body is not the JSON error shape — a proxy's
+// HTML page, a truncated response — its trimmed raw text). Callers can
+// branch on Status with errors.As.
+type HTTPError struct {
+	Status  int
+	Message string
+}
+
+func (e *HTTPError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("serve: HTTP %d", e.Status)
+	}
+	return fmt.Sprintf("serve: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// maxErrorBody caps how much of an error response is read: enough for any
+// real server error, small enough that a misdirected request to something
+// streaming garbage can't balloon memory.
+const maxErrorBody = 64 << 10
+
+// rawMessageCap keeps non-JSON error bodies to a readable one-liner.
+const rawMessageCap = 200
+
+// decodeOrError maps non-2xx responses onto an *HTTPError and decodes 2xx
+// bodies into v.
 func decodeOrError(resp *http.Response, v any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		he := &HTTPError{Status: resp.StatusCode}
 		var e errorBody
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("serve: %s (HTTP %d)", e.Error, resp.StatusCode)
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			he.Message = e.Error
+		} else if msg := strings.TrimSpace(string(body)); msg != "" {
+			if len(msg) > rawMessageCap {
+				msg = msg[:rawMessageCap] + "..."
+			}
+			he.Message = msg
 		}
-		return fmt.Errorf("serve: HTTP %d", resp.StatusCode)
+		return he
 	}
 	if v == nil {
 		return nil
@@ -143,11 +179,32 @@ func (c *Client) Events(ctx context.Context, id string, follow bool, w io.Writer
 	return err
 }
 
-// Wait polls until the job reaches a terminal state or ctx expires.
+// Runners lists the fleet coordinator's registered runners (404 unless the
+// server runs with -fleet).
+func (c *Client) Runners() ([]fleet.RunnerInfo, error) {
+	resp, err := c.http().Get(c.BaseURL + "/v1/runners")
+	if err != nil {
+		return nil, err
+	}
+	var out []fleet.RunnerInfo
+	return out, decodeOrError(resp, &out)
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires. poll
+// seeds the first interval (default 200ms); each subsequent interval
+// doubles up to a 3s ceiling and gets ±10% jitter, so long waits stop
+// hammering the server and a crowd of waiting clients drifts apart instead
+// of polling in lockstep.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
 	}
+	maxPoll := 3 * time.Second
+	if poll > maxPoll {
+		maxPoll = poll
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	interval := poll
 	for {
 		st, err := c.Job(id)
 		if err != nil {
@@ -156,10 +213,14 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 		if st.State.terminal() {
 			return st, nil
 		}
+		sleep := time.Duration(float64(interval) * (0.9 + 0.2*rng.Float64()))
 		select {
 		case <-ctx.Done():
 			return st, ctx.Err()
-		case <-time.After(poll):
+		case <-time.After(sleep):
+		}
+		if interval *= 2; interval > maxPoll {
+			interval = maxPoll
 		}
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"os"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 // cancelWait bounds how long DELETE blocks for the job to actually stop;
@@ -25,6 +27,14 @@ const cancelWait = 2 * time.Second
 //	GET    /v1/jobs/{id}/phases  compact per-phase wall-time attribution
 //	DELETE /v1/jobs/{id}        cancel, waits up to 2s for the job to stop
 //	GET    /healthz             liveness + backlog
+//
+// With a fleet coordinator configured (citroend -fleet), the runner
+// registry is exposed too:
+//
+//	POST   /v1/runners                register a runner {url, workers}
+//	GET    /v1/runners                list runners and their health
+//	POST   /v1/runners/{id}/heartbeat refresh liveness (404 → re-register)
+//	DELETE /v1/runners/{id}           deregister
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -35,6 +45,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/summary", s.handleSummary)
 	mux.HandleFunc("GET /v1/jobs/{id}/phases", s.handlePhases)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/runners", s.handleRunnerRegister)
+	mux.HandleFunc("GET /v1/runners", s.handleRunnerList)
+	mux.HandleFunc("POST /v1/runners/{id}/heartbeat", s.handleRunnerHeartbeat)
+	mux.HandleFunc("DELETE /v1/runners/{id}", s.handleRunnerDeregister)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -52,6 +66,8 @@ type errorBody struct {
 func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownJob):
+		writeJSONResponse(w, http.StatusNotFound, errorBody{err.Error()})
+	case errors.Is(err, fleet.ErrUnknownRunner), errors.Is(err, ErrFleetDisabled):
 		writeJSONResponse(w, http.StatusNotFound, errorBody{err.Error()})
 	case errors.Is(err, ErrQueueFull):
 		writeJSONResponse(w, http.StatusServiceUnavailable, errorBody{err.Error()})

@@ -29,6 +29,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/evalpool"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
 )
@@ -49,6 +50,11 @@ type Config struct {
 	// Metrics receives service-level counters (jobs submitted/finished by
 	// outcome). nil uses a private registry.
 	Metrics *obs.Metrics
+	// Fleet, when set, dispatches candidate-evaluation batches to the
+	// coordinator's registered remote runners instead of compiling
+	// everything in-process, and enables the /v1/runners API. Jobs fall
+	// back to local execution while no runner is registered.
+	Fleet *fleet.Coordinator
 }
 
 // Server owns the job queue and state directories.
@@ -474,7 +480,22 @@ func (s *Server) tune(ctx context.Context, j *job, spec JobSpec) (*core.Result, 
 		}
 		opts.ResumeFrom = ck
 	}
-	return core.NewTuner(ev.Task(), opts, spec.Seed).RunContext(ctx)
+	task := ev.Task()
+	if s.cfg.Fleet != nil {
+		// Fleet mode: candidate batches dispatch to remote runners; the
+		// binding's task view folds accepted batch deltas into the cache
+		// statistics the tuner journals, keeping the canonical journal
+		// byte-identical to a single-process run on a healthy fleet.
+		binding := s.cfg.Fleet.Bind(fleet.JobConfig{
+			Bench:    spec.Bench,
+			Platform: spec.Platform,
+			Seed:     spec.Seed,
+			Feature:  spec.Feature,
+		}, ev, spec.Workers)
+		opts.Backend = binding
+		task = binding.Task()
+	}
+	return core.NewTuner(task, opts, spec.Seed).RunContext(ctx)
 }
 
 // persistResult writes result.json and mirrors the summary into the status.
