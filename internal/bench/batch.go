@@ -35,13 +35,15 @@ type BatchItem struct {
 // single-process totals (SnapshotBytes is a net byte change, so eviction
 // inside a batch subtracts).
 type CounterDelta struct {
-	CacheHits      int   `json:"cache_hits"`
-	CacheMisses    int   `json:"cache_misses"`
-	PrefixSaved    int   `json:"prefix_saved"`
-	PrefixReplayed int   `json:"prefix_replayed"`
-	SnapshotBytes  int64 `json:"snapshot_bytes"`
-	Evictions      int   `json:"evictions"`
-	Compilations   int   `json:"compilations"`
+	CacheHits       int   `json:"cache_hits"`
+	CacheMisses     int   `json:"cache_misses"`
+	PrefixSaved     int   `json:"prefix_saved"`
+	PrefixReplayed  int   `json:"prefix_replayed"`
+	SnapshotBytes   int64 `json:"snapshot_bytes"`
+	Evictions       int   `json:"evictions"`
+	Compilations    int   `json:"compilations"`
+	CowShared       int   `json:"cow_shared"`
+	CowMaterialized int   `json:"cow_materialized"`
 }
 
 // Add accumulates other into d.
@@ -53,11 +55,14 @@ func (d *CounterDelta) Add(other CounterDelta) {
 	d.SnapshotBytes += other.SnapshotBytes
 	d.Evictions += other.Evictions
 	d.Compilations += other.Compilations
+	d.CowShared += other.CowShared
+	d.CowMaterialized += other.CowMaterialized
 }
 
 // counterSnap is a point-in-time copy of the batch-relevant counters.
 type counterSnap struct {
 	hits, miss, saved, replayed, evict, comps int
+	cowShared, cowMat                         int
 	bytes                                     int64
 }
 
@@ -68,19 +73,22 @@ func (ev *Evaluator) counterSnapshot() counterSnap {
 		hits: ev.cacheHits, miss: ev.cacheMiss,
 		saved: ev.prefixSaved, replayed: ev.prefixReplayed,
 		evict: ev.snapEvict, comps: ev.Compilations,
+		cowShared: ev.cowShared, cowMat: ev.cowMaterialized,
 		bytes: ev.snapBytes,
 	}
 }
 
 func (after counterSnap) sub(before counterSnap) CounterDelta {
 	return CounterDelta{
-		CacheHits:      after.hits - before.hits,
-		CacheMisses:    after.miss - before.miss,
-		PrefixSaved:    after.saved - before.saved,
-		PrefixReplayed: after.replayed - before.replayed,
-		SnapshotBytes:  after.bytes - before.bytes,
-		Evictions:      after.evict - before.evict,
-		Compilations:   after.comps - before.comps,
+		CacheHits:       after.hits - before.hits,
+		CacheMisses:     after.miss - before.miss,
+		PrefixSaved:     after.saved - before.saved,
+		PrefixReplayed:  after.replayed - before.replayed,
+		SnapshotBytes:   after.bytes - before.bytes,
+		Evictions:       after.evict - before.evict,
+		Compilations:    after.comps - before.comps,
+		CowShared:       after.cowShared - before.cowShared,
+		CowMaterialized: after.cowMat - before.cowMat,
 	}
 }
 

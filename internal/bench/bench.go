@@ -283,6 +283,15 @@ type Evaluator struct {
 	flights   map[seqKey]*flight
 	cacheHits int
 	cacheMiss int
+	// modBytes refcounts the distinct module instances retained by snapshot
+	// entries so snapBytes charges shared instances exactly once (see
+	// modRef in prefixcache.go).
+	modBytes map[*ir.Module]*modRef
+	// COW clone accounting (deterministic: derived from hit/miss/snapshot
+	// structure, not from scheduling): clones handed out sharing bodies, and
+	// the subset that materialized private bodies.
+	cowShared       int
+	cowMaterialized int
 
 	// Prefix accounting: passes skipped by resuming from snapshots vs passes
 	// actually executed, current snapshot bytes, snapshots evicted.
@@ -318,6 +327,14 @@ type Evaluator struct {
 	obsSnapBytes *obs.Gauge
 	obsAnalHits  *obs.Gauge
 	obsAnalMiss  *obs.Gauge
+	obsCowClones *obs.Gauge
+	obsCowMat    *obs.Gauge
+	obsSlabFuncs *obs.Gauge
+	obsStray     *obs.Gauge
+	obsMachGets  *obs.Gauge
+	obsMachNews  *obs.Gauge
+	obsPassGets  *obs.Gauge
+	obsPassNews  *obs.Gauge
 }
 
 // seqKey identifies one full (dataset, module, sequence) build; used to
@@ -332,10 +349,11 @@ type seqKey struct {
 func NewEvaluator(b *Benchmark, plat Platform, seed int64) (*Evaluator, error) {
 	ev := &Evaluator{
 		Bench: b, Plat: plat, Datasets: 2, Runs: 3,
-		meas:    machine.NewMeasurement(machine.New(plat.Prof), plat.NoiseStd, seed),
-		snaps:   map[snapKey]*list.Element{},
-		lru:     list.New(),
-		flights: map[seqKey]*flight{},
+		meas:     machine.NewMeasurement(machine.New(plat.Prof), plat.NoiseStd, seed),
+		snaps:    map[snapKey]*list.Element{},
+		lru:      list.New(),
+		flights:  map[seqKey]*flight{},
+		modBytes: map[*ir.Module]*modRef{},
 	}
 	for ds := 0; ds < ev.Datasets; ds++ {
 		mods := b.Build(ds, plat.Prof.VecWidth64)
@@ -343,6 +361,9 @@ func NewEvaluator(b *Benchmark, plat Platform, seed int64) (*Evaluator, error) {
 			if err := ir.Verify(m); err != nil {
 				return nil, fmt.Errorf("bench %s: %w", b.Name, err)
 			}
+			// Re-slab builder output into dense arenas: every COW clone of a
+			// pristine module then materializes from cache-friendly slabs.
+			ir.CompactModule(m)
 		}
 		ev.pristine = append(ev.pristine, mods)
 		// Reference outputs from unoptimised builds (ground truth).
@@ -371,6 +392,7 @@ func NewEvaluator(b *Benchmark, plat Platform, seed int64) (*Evaluator, error) {
 	ev.mu.Lock()
 	ev.cacheHits, ev.cacheMiss = 0, 0
 	ev.prefixSaved, ev.prefixReplayed, ev.snapEvict = 0, 0, 0
+	ev.cowShared, ev.cowMaterialized = 0, 0
 	ev.mu.Unlock()
 	return ev, nil
 }
@@ -432,6 +454,14 @@ func (ev *Evaluator) SetObs(m *obs.Metrics, prof *passes.Profile) {
 	ev.obsSnapBytes = m.Gauge("bench_prefix_snapshot_bytes")
 	ev.obsAnalHits = m.Gauge("ir_analysis_cache_hits")
 	ev.obsAnalMiss = m.Gauge("ir_analysis_cache_misses")
+	ev.obsCowClones = m.Gauge("ir_clone_cow_total")
+	ev.obsCowMat = m.Gauge("ir_clone_cow_materialized_total")
+	ev.obsSlabFuncs = m.Gauge("ir_clone_slab_funcs_total")
+	ev.obsStray = m.Gauge("ir_clone_stray_instrs_total")
+	ev.obsMachGets = m.Gauge("machine_pool_gets_total")
+	ev.obsMachNews = m.Gauge("machine_pool_news_total")
+	ev.obsPassGets = m.Gauge("passes_pool_gets_total")
+	ev.obsPassNews = m.Gauge("passes_pool_news_total")
 	h := m.Histogram("machine_run_cycles", obs.CyclesBuckets)
 	ev.meas.OnSample = func(cycles float64, _ time.Duration) { h.Observe(cycles) }
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"repro/internal/ir"
+	"repro/internal/machine"
 	"repro/internal/passes"
 )
 
@@ -62,11 +63,59 @@ type snapEntry struct {
 	stats    passes.Stats
 	fp       uint64 // structural fingerprint of mod, when fpOK (computed opportunistically for dedup)
 	fpOK     bool
-	bytes    int64 // attributed budget bytes (conservative: shared mods count each time)
 	elem     *list.Element
 	verified bool  // final verification ran (eagerly for final states, lazily for interior)
 	verr     error // result of that verification
-	warm     bool  // created by an uncounted warm compile (bytes mirrored in warmBytes)
+}
+
+// modRef is the per-module byte accounting record behind snapBytes: entries
+// that share one module instance (fingerprint dedup, stride sharing) share
+// one record, so the budget charges each retained module exactly once. bytes
+// is computed once at first retain; warmOwned marks modules held only by
+// uncounted warm-compile entries (mirrored in warmBytes) and converts to
+// counted ownership the first time a counted build retains the module.
+type modRef struct {
+	bytes     int64
+	refs      int
+	warmOwned bool
+}
+
+// retainSnapModLocked charges m against the snapshot budget (first retain
+// only) and bumps its refcount. Caller holds ev.mu.
+func (ev *Evaluator) retainSnapModLocked(m *ir.Module, warm bool) {
+	r := ev.modBytes[m]
+	if r == nil {
+		r = &modRef{bytes: m.ApproxBytes(), warmOwned: warm}
+		ev.modBytes[m] = r
+		ev.snapBytes += r.bytes
+		if warm {
+			ev.warmBytes += r.bytes
+		}
+	} else if r.warmOwned && !warm {
+		// A counted build now shares this module: it is real search-work
+		// memory, not warm-only, so stop subtracting it from aggregation.
+		r.warmOwned = false
+		ev.warmBytes -= r.bytes
+	}
+	r.refs++
+}
+
+// releaseSnapModLocked drops one reference to m, refunding its bytes when the
+// last referencing snapshot is evicted. Caller holds ev.mu.
+func (ev *Evaluator) releaseSnapModLocked(m *ir.Module) {
+	r := ev.modBytes[m]
+	if r == nil {
+		return
+	}
+	r.refs--
+	if r.refs > 0 {
+		return
+	}
+	ev.snapBytes -= r.bytes
+	if r.warmOwned {
+		ev.warmBytes -= r.bytes
+	}
+	delete(ev.modBytes, m)
 }
 
 // flight is one in-progress compilation of a full (dataset, module, sequence)
@@ -133,8 +182,11 @@ type pendingSnap struct {
 	stats    passes.Stats
 	fp       uint64
 	fpOK     bool
-	bytes    int64
 	verified bool
+	// cloned marks snapshots that took a fresh COW clone of the working
+	// module (as opposed to sharing the previous snapshot's instance via
+	// fingerprint dedup); the COW counters are derived from it.
+	cloned bool
 }
 
 // statsSum totals all counters — a cheap change pre-filter: a span of passes
@@ -165,7 +217,6 @@ func (ev *Evaluator) runSuffix(c *ir.Module, plist []*passes.Pass, st passes.Sta
 	}
 	var snaps []pendingSnap
 	prevMod, prevFp, prevOK := baseMod, baseFp, haveFp
-	prevBytes := int64(0)
 	prevSum := statsSum(st)
 	total := len(plist)
 	for i := from; i < total; i++ {
@@ -182,22 +233,21 @@ func (ev *Evaluator) runSuffix(c *ir.Module, plist []*passes.Pass, st passes.Sta
 		var snap *ir.Module
 		var fp uint64
 		var fpOK bool
-		var bytes int64
 		if prevMod != nil && curSum == prevSum {
 			if !prevOK {
 				prevFp, prevOK = prevMod.Fingerprint(), true
 			}
 			fp, fpOK = c.Fingerprint(), true
 			if fp == prevFp {
-				snap, bytes = prevMod, prevBytes
+				snap = prevMod
 			}
 		}
-		if snap == nil {
+		cloned := snap == nil
+		if cloned {
 			snap = c.Clone()
-			bytes = snap.ApproxBytes()
 		}
-		snaps = append(snaps, pendingSnap{depth: depth, mod: snap, stats: st.Clone(), fp: fp, fpOK: fpOK, bytes: bytes, verified: depth == total})
-		prevMod, prevFp, prevOK, prevBytes, prevSum = snap, fp, fpOK, bytes, curSum
+		snaps = append(snaps, pendingSnap{depth: depth, mod: snap, stats: st.Clone(), fp: fp, fpOK: fpOK, verified: depth == total, cloned: cloned})
+		prevMod, prevFp, prevOK, prevSum = snap, fp, fpOK, curSum
 	}
 	if err := ir.Verify(c); err != nil {
 		// Drop the final-state snapshot: an exact hit must never turn a
@@ -237,13 +287,10 @@ func (ev *Evaluator) insertSnapLocked(key snapKey, ps pendingSnap, warm bool) {
 	if _, ok := ev.snaps[key]; ok {
 		return // a concurrent build of an overlapping sequence won the race
 	}
-	se := &snapEntry{key: key, mod: ps.mod, stats: ps.stats, fp: ps.fp, fpOK: ps.fpOK, bytes: ps.bytes, verified: ps.verified, warm: warm}
+	se := &snapEntry{key: key, mod: ps.mod, stats: ps.stats, fp: ps.fp, fpOK: ps.fpOK, verified: ps.verified}
 	se.elem = ev.lru.PushFront(se)
 	ev.snaps[key] = se.elem
-	ev.snapBytes += se.bytes
-	if warm {
-		ev.warmBytes += se.bytes
-	}
+	ev.retainSnapModLocked(se.mod, warm)
 	capacity := ev.CacheCap
 	if capacity == 0 {
 		capacity = DefaultCacheCap
@@ -260,10 +307,7 @@ func (ev *Evaluator) insertSnapLocked(key snapKey, ps pendingSnap, warm bool) {
 		old := back.Value.(*snapEntry)
 		ev.lru.Remove(back)
 		delete(ev.snaps, old.key)
-		ev.snapBytes -= old.bytes
-		if old.warm {
-			ev.warmBytes -= old.bytes
-		}
+		ev.releaseSnapModLocked(old.mod)
 		ev.snapEvict++
 		if ev.obsEvict != nil {
 			ev.obsEvict.Inc()
@@ -319,6 +363,8 @@ func (ev *Evaluator) compiledForMode(ctx context.Context, ds int, name string, s
 			ev.mu.Lock()
 			ev.Compilations++
 			ev.prefixReplayed += len(names)
+			ev.cowShared++       // the working clone shares pristine's bodies
+			ev.cowMaterialized++ // ...until the first pass materializes it
 			ev.mu.Unlock()
 			if ev.obsComp != nil {
 				ev.obsComp.Inc()
@@ -354,6 +400,7 @@ func (ev *Evaluator) compiledForMode(ctx context.Context, ds int, name string, s
 			se := e.Value.(*snapEntry)
 			if counted {
 				ev.cacheHits++
+				ev.cowShared++ // hit handout: a COW clone that never materializes
 			}
 			mod, st := se.mod, se.stats
 			verified, verr := se.verified, se.verr
@@ -389,6 +436,7 @@ func (ev *Evaluator) compiledForMode(ctx context.Context, ds int, name string, s
 				if counted {
 					ev.mu.Lock()
 					ev.cacheHits++
+					ev.cowShared++ // follower handout, like an exact hit
 					ev.mu.Unlock()
 					if ev.obsHits != nil {
 						ev.obsHits.Inc()
@@ -422,6 +470,11 @@ func (ev *Evaluator) compiledForMode(ctx context.Context, ds int, name string, s
 			ev.Compilations++
 			ev.prefixSaved += depth
 			ev.prefixReplayed += total - depth
+			// The lead's working clone shares its base (snapshot or pristine)
+			// and materializes on the first suffix pass (depth < total here:
+			// a depth == total snapshot would have been an exact hit).
+			ev.cowShared++
+			ev.cowMaterialized++
 		}
 		ev.mu.Unlock()
 		if counted && ev.obsMiss != nil {
@@ -469,6 +522,15 @@ func (ev *Evaluator) leadCompile(fl *flight, flKey seqKey, fullKey snapKey, pris
 	ev.mu.Lock()
 	var final *ir.Module
 	for _, ps := range snaps {
+		if counted && ps.cloned {
+			// Each fresh interior snapshot is a COW clone off the working
+			// module, which re-materializes on the pass that follows; the
+			// final-state clone is never mutated again.
+			ev.cowShared++
+			if ps.depth != len(plist) {
+				ev.cowMaterialized++
+			}
+		}
 		ev.insertSnapLocked(snapKey{dataset: fullKey.dataset, module: fullKey.module, hash: hashes[ps.depth], depth: ps.depth}, ps, !counted)
 		if ps.depth == len(plist) {
 			final = ps.mod
@@ -491,8 +553,11 @@ func (ev *Evaluator) leadCompile(fl *flight, flKey seqKey, fullKey snapKey, pris
 	return c, st, nil
 }
 
-// updateAnalysisGauges mirrors the process-global analysis-cache counters
-// into the metrics registry (no-op until SetObs attaches gauges).
+// updateAnalysisGauges mirrors the process-global analysis-cache, COW-clone
+// and scratch-pool counters into the metrics registry (no-op until SetObs
+// attaches gauges). These are environment metrics — scheduling-dependent and
+// process-global — so they feed Prometheus and env_ journal fields only,
+// never canonical journal fields.
 func (ev *Evaluator) updateAnalysisGauges() {
 	if ev.obsAnalHits == nil {
 		return
@@ -500,6 +565,51 @@ func (ev *Evaluator) updateAnalysisGauges() {
 	h, m := ir.AnalysisCacheCounters()
 	ev.obsAnalHits.Set(float64(h))
 	ev.obsAnalMiss.Set(float64(m))
+	if ev.obsCowClones != nil {
+		clones, mat, slab, stray := ir.CloneCounters()
+		ev.obsCowClones.Set(float64(clones))
+		ev.obsCowMat.Set(float64(mat))
+		ev.obsSlabFuncs.Set(float64(slab))
+		ev.obsStray.Set(float64(stray))
+		mg, mn := machine.PoolCounters()
+		ev.obsMachGets.Set(float64(mg))
+		ev.obsMachNews.Set(float64(mn))
+		pg, pn := passes.PoolCounters()
+		ev.obsPassGets.Set(float64(pg))
+		ev.obsPassNews.Set(float64(pn))
+	}
+}
+
+// CowCounters returns the copy-on-write clone accounting since the evaluator
+// was built (the baseline build does not count): clones handed out sharing
+// function bodies, and the subset that went on to materialize private
+// bodies. Both are deterministic functions of the evaluated workload, so
+// they are safe for canonical journal fields.
+func (ev *Evaluator) CowCounters() (shared, materialized int) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.cowShared, ev.cowMaterialized
+}
+
+// EnvPoolStats returns the process-global pool/arena counters behind the COW
+// and scratch-pool machinery. These depend on goroutine scheduling (other
+// evaluators in the process bump them too), so callers must treat them as
+// execution-environment observations — the tuner journals them only under
+// the canonicalisation-stripped "env_" prefix.
+func (ev *Evaluator) EnvPoolStats() map[string]uint64 {
+	clones, materialized, slabFuncs, stray := ir.CloneCounters()
+	machGets, machNews := machine.PoolCounters()
+	passGets, passNews := passes.PoolCounters()
+	return map[string]uint64{
+		"ir_clone_cow":          clones,
+		"ir_clone_materialized": materialized,
+		"ir_clone_slab_funcs":   slabFuncs,
+		"ir_clone_stray_instrs": stray,
+		"machine_pool_gets":     machGets,
+		"machine_pool_news":     machNews,
+		"passes_pool_gets":      passGets,
+		"passes_pool_news":      passNews,
+	}
 }
 
 // PrefixCounters returns the prefix-snapshot cache's work accounting since

@@ -29,6 +29,8 @@ func (ev *Evaluator) Task() core.Task {
 		},
 		CacheFn:       ev.CacheCounters,
 		PrefixFn:      ev.PrefixCounters,
+		CowFn:         ev.CowCounters,
+		EnvFn:         ev.EnvPoolStats,
 		PassProfileFn: ev.PassProfile,
 	}
 }

@@ -172,6 +172,12 @@ type RuntimeBreakdown struct {
 	PrefixReplayedPasses int
 	PrefixSnapshotBytes  int64
 	PrefixEvictions      int
+	// Copy-on-write clone accounting when the Task's evaluator hands out
+	// COW module clones (zero otherwise): clones that shared function
+	// bodies with their source, and the subset that later materialized
+	// private bodies because a pass mutated them.
+	CowShared       int
+	CowMaterialized int
 }
 
 // Result is the tuning outcome.
@@ -1150,6 +1156,14 @@ func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]
 			saved, replayed, bytes, evictions := ps.PrefixCounters()
 			t.rec.PrefixCache(t.curSpan, saved, replayed, bytes, evictions)
 		}
+		if cr, ok := t.task.(CowStatsReporter); ok {
+			shared, mat := cr.CowCounters()
+			var env map[string]uint64
+			if er, ok := t.task.(EnvStatsReporter); ok {
+				env = er.EnvPoolStats()
+			}
+			t.rec.CowStats(t.curSpan, shared, mat, env)
+		}
 		t.rec.GPStats(t.curSpan, t.res.Breakdown.GPFits, t.res.Breakdown.GPAppends)
 	}
 	return true
@@ -1192,6 +1206,9 @@ func (t *Tuner) finalize(start time.Time) {
 		t.res.Breakdown.PrefixSavedPasses, t.res.Breakdown.PrefixReplayedPasses,
 			t.res.Breakdown.PrefixSnapshotBytes, t.res.Breakdown.PrefixEvictions = ps.PrefixCounters()
 	}
+	if cr, ok := t.task.(CowStatsReporter); ok {
+		t.res.Breakdown.CowShared, t.res.Breakdown.CowMaterialized = cr.CowCounters()
+	}
 	if pp, ok := t.task.(PassProfileReporter); ok {
 		t.res.PassProfile = pp.PassProfile()
 	}
@@ -1210,6 +1227,8 @@ func (t *Tuner) finalize(start time.Time) {
 			"prefix_replayed_passes": bd.PrefixReplayedPasses,
 			"prefix_snapshot_bytes":  bd.PrefixSnapshotBytes,
 			"prefix_evictions":       bd.PrefixEvictions,
+			"cow_shared":             bd.CowShared,
+			"cow_materialized":       bd.CowMaterialized,
 			"interrupted":            t.interrupted,
 			"breakdown": map[string]any{
 				"gp_fit_ns": bd.GPFit.Nanoseconds(), "acq_max_ns": bd.AcqMax.Nanoseconds(),

@@ -67,6 +67,28 @@ type PrefixStatsReporter interface {
 	PrefixCounters() (savedPasses, replayedPasses int, snapshotBytes int64, evictions int)
 }
 
+// CowStatsReporter is optionally implemented by Tasks whose evaluator hands
+// out copy-on-write module clones. The tuner copies the counters into
+// Result.Breakdown and journals them with the prefix-cache stats after every
+// measurement. Both counters are deterministic functions of the evaluated
+// workload (clone handouts and the subset that materialized private bodies),
+// so they are safe for canonical journal fields.
+type CowStatsReporter interface {
+	// CowCounters returns cumulative COW clones handed out and the subset
+	// that materialized private function bodies.
+	CowCounters() (shared, materialized int)
+}
+
+// EnvStatsReporter is optionally implemented by Tasks that can report
+// process-global execution-environment counters (sync.Pool reuse rates,
+// slab-clone totals). Unlike CowStatsReporter these depend on goroutine
+// scheduling, so the tuner journals them only as "env_"-prefixed fields
+// that canonical journal comparison strips.
+type EnvStatsReporter interface {
+	// EnvPoolStats returns named process-global pool/arena counters.
+	EnvPoolStats() map[string]uint64
+}
+
 // PassProfileReporter is optionally implemented by Tasks whose evaluator
 // profiles individual pass invocations (wall time + statistics-counter
 // deltas; see passes.Profile). The tuner copies the aggregated costs into
@@ -92,6 +114,12 @@ type BenchTask struct {
 	// PrefixFn, when set, reports the evaluator's prefix-snapshot cache
 	// accounting (see PrefixStatsReporter).
 	PrefixFn func() (savedPasses, replayedPasses int, snapshotBytes int64, evictions int)
+	// CowFn, when set, reports the evaluator's copy-on-write clone
+	// accounting (see CowStatsReporter).
+	CowFn func() (shared, materialized int)
+	// EnvFn, when set, reports process-global pool/arena counters
+	// (see EnvStatsReporter).
+	EnvFn func() map[string]uint64
 	// PassProfileFn, when set, reports the evaluator's per-pass profile
 	// (see PassProfileReporter).
 	PassProfileFn func() []passes.PassCost
@@ -132,6 +160,24 @@ func (t *BenchTask) PrefixCounters() (savedPasses, replayedPasses int, snapshotB
 		return 0, 0, 0, 0
 	}
 	return t.PrefixFn()
+}
+
+// CowCounters implements CowStatsReporter; without a CowFn it reports an
+// evaluator that never hands out COW clones (all zeros).
+func (t *BenchTask) CowCounters() (shared, materialized int) {
+	if t.CowFn == nil {
+		return 0, 0
+	}
+	return t.CowFn()
+}
+
+// EnvPoolStats implements EnvStatsReporter; without an EnvFn it reports no
+// environment counters.
+func (t *BenchTask) EnvPoolStats() map[string]uint64 {
+	if t.EnvFn == nil {
+		return nil
+	}
+	return t.EnvFn()
 }
 
 // PassProfile implements PassProfileReporter; without a PassProfileFn it

@@ -413,6 +413,12 @@ func (b *JobBinding) Task() core.Task {
 		defer b.mu.Unlock()
 		return s + b.agg.PrefixSaved, r + b.agg.PrefixReplayed, bytes + b.agg.SnapshotBytes, e + b.agg.Evictions
 	}
+	t.CowFn = func() (shared, materialized int) {
+		s, m := b.ev.CowCounters()
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return s + b.agg.CowShared, m + b.agg.CowMaterialized
+	}
 	return t
 }
 

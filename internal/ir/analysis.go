@@ -39,8 +39,10 @@ func EnableAnalysisCache(f *Function) {
 }
 
 // DisableAnalysisCache detaches f's analysis cache, releasing the cached
-// structures and returning AnalysesOf to compute-fresh behaviour.
-func DisableAnalysisCache(f *Function) { f.anal = nil }
+// structures and returning AnalysesOf to compute-fresh behaviour. The write
+// is skip-equal so detaching an already-detached (possibly COW-shared)
+// function is a pure read.
+func DisableAnalysisCache(f *Function) { f.detachAnal() }
 
 // InvalidateAnalyses drops f's cached analyses (keeping the cache attached).
 // Passes call this after mutating the block graph mid-run; the pass manager

@@ -1,0 +1,54 @@
+package ir_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestApproxBytesTracksMeasuredAllocation bounds the cache-eviction size
+// estimate against reality: materializing a COW clone allocates the exact
+// slab layout ApproxBytes models, so the measured bytes-per-materialization
+// must bracket the estimate within 2x either way. A drift outside that band
+// means the estimate no longer reflects the layout and byte-budgeted
+// eviction would systematically over- or under-fill the cache.
+func TestApproxBytesTracksMeasuredAllocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is noisy under -short")
+	}
+	for _, mode := range []struct {
+		name     string
+		optimize bool
+	}{
+		{"pristine", false},
+		{"optimized", true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			m := benchModule(t, mode.optimize)
+			ir.CompactModule(m)
+			est := m.ApproxBytes()
+			if est <= 0 {
+				t.Fatalf("ApproxBytes = %d, want positive", est)
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c := m.Clone()
+					ir.MaterializeModule(c)
+					sink = c
+				}
+			})
+			measured := res.AllocedBytesPerOp()
+			if measured <= 0 {
+				t.Fatalf("measured %d B/op, want positive", measured)
+			}
+			lo, hi := measured/2, measured*2
+			if est < lo || est > hi {
+				t.Fatalf("ApproxBytes = %d not within 2x of measured %d B/op [%d, %d]",
+					est, measured, lo, hi)
+			}
+			t.Logf("%s: estimate %d B, measured %d B/op (ratio %.2f)",
+				mode.name, est, measured, float64(est)/float64(measured))
+		})
+	}
+}

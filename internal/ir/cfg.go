@@ -8,17 +8,48 @@ type CFG struct {
 	Succs map[*Block][]*Block
 }
 
-// BuildCFG computes the control-flow graph of f.
+// BuildCFG computes the control-flow graph of f. The adjacency lists are
+// carved out of two shared backing arrays sized by a counting pre-pass:
+// CFGs are rebuilt after nearly every pass, so per-edge append growth would
+// dominate the compile pipeline's allocation count.
 func BuildCFG(f *Function) *CFG {
-	c := &CFG{F: f, Preds: make(map[*Block][]*Block), Succs: make(map[*Block][]*Block)}
+	n := len(f.Blocks)
+	c := &CFG{F: f, Preds: make(map[*Block][]*Block, n), Succs: make(map[*Block][]*Block, n)}
+	total := 0
+	predN := make(map[*Block]int, n)
+	for _, b := range f.Blocks {
+		if t := b.Term(); t != nil {
+			ss := t.Succs()
+			total += len(ss)
+			for _, s := range ss {
+				predN[s]++
+			}
+		}
+	}
+	succBack := make([]*Block, total)
+	predBack := make([]*Block, total)
+	off := 0
+	for _, b := range f.Blocks {
+		if k := predN[b]; k > 0 {
+			c.Preds[b] = predBack[off:off:off+k]
+			off += k
+		}
+	}
+	off = 0
 	for _, b := range f.Blocks {
 		t := b.Term()
 		if t == nil {
 			continue
 		}
-		for _, s := range t.Succs() {
-			c.Succs[b] = append(c.Succs[b], s)
-			c.Preds[s] = append(c.Preds[s], b)
+		ss := t.Succs()
+		if len(ss) == 0 {
+			continue
+		}
+		dst := succBack[off:off:off+len(ss)]
+		off += len(ss)
+		c.Succs[b] = append(dst, ss...)
+		for _, s := range ss {
+			c.Preds[s] = append(c.Preds[s], b) // cap pre-carved: never reallocates
 		}
 	}
 	return c
@@ -27,8 +58,9 @@ func BuildCFG(f *Function) *CFG {
 // ReversePostOrder returns the blocks of f in reverse post-order from entry.
 // Unreachable blocks are omitted.
 func (c *CFG) ReversePostOrder() []*Block {
-	var post []*Block
-	seen := make(map[*Block]bool)
+	n := len(c.F.Blocks)
+	post := make([]*Block, 0, n)
+	seen := make(map[*Block]bool, n)
 	var dfs func(b *Block)
 	dfs = func(b *Block) {
 		if seen[b] {
@@ -40,7 +72,7 @@ func (c *CFG) ReversePostOrder() []*Block {
 		}
 		post = append(post, b)
 	}
-	if len(c.F.Blocks) > 0 {
+	if n > 0 {
 		dfs(c.F.Entry())
 	}
 	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
@@ -51,11 +83,12 @@ func (c *CFG) ReversePostOrder() []*Block {
 
 // Reachable returns the set of blocks reachable from entry.
 func (c *CFG) Reachable() map[*Block]bool {
-	seen := make(map[*Block]bool)
+	seen := make(map[*Block]bool, len(c.F.Blocks))
 	if len(c.F.Blocks) == 0 {
 		return seen
 	}
-	stack := []*Block{c.F.Entry()}
+	stack := make([]*Block, 1, len(c.F.Blocks))
+	stack[0] = c.F.Entry()
 	for len(stack) > 0 {
 		b := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]

@@ -1,0 +1,82 @@
+package ir_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/passes"
+)
+
+// benchModule builds a representative multi-kernel module and, when optimize
+// is set, runs the O3 pipeline over it so the clone benchmarks see the
+// instruction mix a mid-sequence prefix snapshot sees.
+func benchModule(tb testing.TB, optimize bool) *ir.Module {
+	m := irgen.BuildModule(irgen.ModuleSpec{
+		Name: "clonebench",
+		Kernels: []irgen.KernelSpec{
+			{Kind: irgen.DotProduct, Size: 128, Reps: 3, Unroll: 8, ExitPred: ir.CmpSLT},
+			{Kind: irgen.Stencil, Size: 128, Reps: 2, ExitPred: ir.CmpSLE},
+			{Kind: irgen.StateMachine, Size: 128, Reps: 2, ExitPred: ir.CmpSLT},
+			{Kind: irgen.Histogram, Size: 96, Reps: 2, ExitPred: ir.CmpNE},
+		},
+		Seed: 42,
+	})
+	if optimize {
+		if err := passes.ApplyLevel(m, "O3", passes.Stats{}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return m
+}
+
+// BenchmarkModuleClone measures the copy paths behind snapshot creation and
+// cache-hit handout in the prefix-snapshot compile cache: the copy-on-write
+// Clone (what a cache hit pays) and Clone+MaterializeModule (what the first
+// mutating pass pays — the old eager deep copy, now slab-backed).
+func BenchmarkModuleClone(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		optimize bool
+	}{
+		{"pristine", false},
+		{"optimized", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := benchModule(b, mode.optimize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = m.Clone()
+			}
+		})
+		b.Run(mode.name+"-materialize", func(b *testing.B) {
+			m := benchModule(b, mode.optimize)
+			ir.CompactModule(m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := m.Clone()
+				ir.MaterializeModule(c)
+				sink = c
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotHandout measures the cache-hit handout path: the clone a
+// caller receives for an immutable cached snapshot, including the renumbering
+// Link performs before interpretation.
+func BenchmarkSnapshotHandout(b *testing.B) {
+	m := benchModule(b, true)
+	m.Renumber()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.Clone()
+		c.Renumber()
+		sink = c
+	}
+}
+
+var sink *ir.Module

@@ -1,0 +1,54 @@
+package ir
+
+import "testing"
+
+// TestCOWCloneCarriesFunctionState checks the non-structural Function state
+// across the COW clone + materialize path: the temp-name counter must carry
+// (so names minted after materialization don't collide with existing ones)
+// and the analysis cache must reset (so a clone never sees the original's
+// cached CFG/dominators/loops).
+func TestCOWCloneCarriesFunctionState(t *testing.T) {
+	m, f := buildCountdown()
+	f.nextTmp = 41
+	EnableAnalysisCache(f)
+	if _ = CFGOf(f); f.anal == nil || f.anal.cfg == nil {
+		t.Fatal("analysis cache not primed")
+	}
+
+	c := m.Clone()
+	// Clone detaches the source's cache: a shared body must carry no mutable
+	// attached state.
+	if f.anal != nil {
+		t.Fatal("Clone left analysis cache attached to shared function")
+	}
+	if !MaterializeModule(c) {
+		t.Fatal("materialize reported no shared bodies")
+	}
+	cf := c.Func("sum")
+	if cf == f {
+		t.Fatal("materialize did not produce a private body")
+	}
+	if cf.nextTmp != 41 {
+		t.Fatalf("nextTmp not carried: got %d, want 41", cf.nextTmp)
+	}
+	if cf.anal != nil {
+		t.Fatal("materialized clone carries a stale analysis cache")
+	}
+	if cf.isShared() {
+		t.Fatal("materialized clone still flagged shared")
+	}
+}
+
+// TestCOWCloneDeepCopiesMeta ensures module metadata never aliases between a
+// module and its clone: passes toggle meta flags, and a shared map would leak
+// one module's pipeline decisions into the other.
+func TestCOWCloneDeepCopiesMeta(t *testing.T) {
+	m, _ := buildCountdown()
+	m.Meta = map[string]bool{"vectorized": true}
+	c := m.Clone()
+	c.Meta["vectorized"] = false
+	c.Meta["unrolled"] = true
+	if !m.Meta["vectorized"] || m.Meta["unrolled"] {
+		t.Fatalf("clone meta aliases original: %v", m.Meta)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"unsafe"
 )
 
 // Fingerprint returns a cheap structural hash of the module: function
@@ -130,31 +131,48 @@ func sortedMetaKeys(meta map[string]bool) []string {
 	return keys
 }
 
+// Per-object sizes of the slab layout produced by cloneFunction and
+// CompactModule — the layout every cached snapshot actually has. Derived
+// from the real struct definitions so the estimate tracks layout changes.
+const (
+	sizeofInstr    = int64(unsafe.Sizeof(Instr{}))
+	sizeofBlock    = int64(unsafe.Sizeof(Block{}))
+	sizeofFunction = int64(unsafe.Sizeof(Function{}))
+	sizeofGlobal   = int64(unsafe.Sizeof(Global{}))
+	sizeofParam    = int64(unsafe.Sizeof(Param{}))
+	sizeofModule   = int64(unsafe.Sizeof(Module{}))
+	sizeofValue    = int64(unsafe.Sizeof(Value(nil))) // interface slot: 2 words
+	ptrBytes       = int64(unsafe.Sizeof(uintptr(0)))
+)
+
 // ApproxBytes estimates the retained heap size of the module in bytes, for
-// byte-budgeted cache eviction. The estimate covers the dominant costs —
-// instruction objects, operand/block slices, block and function headers,
-// global initialisers — with fixed per-object constants; it is intentionally
-// rough but monotone in module size.
+// byte-budgeted cache eviction. It models the slab layout a materialized
+// clone has: one Instr/Block slab per function plus the shared operand,
+// successor, and membership arrays, with per-object sizes taken from the
+// struct definitions via unsafe.Sizeof. Strings (names, callees) count their
+// payload bytes. The estimate stays within a small constant factor of
+// measured allocation for slab-built modules and is monotone in module size.
 func (m *Module) ApproxBytes() int64 {
-	const (
-		instrBase = 160 // Instr struct + map residency overheads
-		slotBytes = 16  // per operand / per block-ref slot
-		blockBase = 96
-		funcBase  = 160
-		globBase  = 96
-	)
-	total := int64(256) // Module header, meta map
+	total := sizeofModule + ptrBytes // module header + *Module handle
+	for k := range m.Meta {
+		total += int64(len(k)) + 16 // map entry: key bytes + bucket share
+	}
 	for _, g := range m.Globals {
-		total += globBase + int64(len(g.InitI))*8 + int64(len(g.InitF))*8
+		total += sizeofGlobal + ptrBytes + int64(len(g.Name)) +
+			int64(len(g.InitI))*8 + int64(len(g.InitF))*8
 	}
 	for _, f := range m.Funcs {
-		total += funcBase + int64(len(f.Params))*48
+		total += sizeofFunction + ptrBytes + int64(len(f.Name))
+		total += int64(len(f.Params)) * (sizeofParam + ptrBytes) // slab + *Param slice
 		for _, b := range f.Blocks {
-			total += blockBase + int64(len(b.Name))
+			// Block slab slot + Blocks slice entry + membership slice headroom.
+			total += sizeofBlock + ptrBytes + int64(len(b.Name))
+			total += int64(len(b.Instrs)) * (sizeofInstr + ptrBytes)
 			for _, in := range b.Instrs {
-				total += instrBase +
-					int64(len(in.Ops)+len(in.Blocks))*slotBytes +
-					int64(len(in.Cases))*8 + int64(len(in.Callee))
+				total += int64(len(in.Ops))*sizeofValue +
+					int64(len(in.Blocks))*ptrBytes +
+					int64(len(in.Cases))*8 +
+					int64(len(in.Callee))
 			}
 		}
 	}

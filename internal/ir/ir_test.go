@@ -180,9 +180,19 @@ func TestCloneIndependence(t *testing.T) {
 	if err := Verify(c); err != nil {
 		t.Fatalf("clone verify: %v", err)
 	}
+	// Clone is copy-on-write: bodies are shared until materialized.
+	if cf := c.Func("sum"); cf != f {
+		t.Fatal("COW clone copied the function eagerly")
+	}
+	if !f.Shared() {
+		t.Fatal("COW clone did not flag the body shared")
+	}
+	if !MaterializeModule(c) {
+		t.Fatal("materialize reported no shared bodies")
+	}
 	cf := c.Func("sum")
 	if cf == f {
-		t.Fatal("clone returned same function")
+		t.Fatal("materialize returned same function")
 	}
 	// Mutating the clone must not affect the original.
 	cf.Blocks[0].RemoveAt(0)

@@ -1,6 +1,6 @@
 package ir
 
-import "fmt"
+import "sync/atomic"
 
 // FuncAttrs carries interprocedural attributes discovered by analyses.
 type FuncAttrs uint8
@@ -32,9 +32,37 @@ type Function struct {
 	IsDecl  bool // declaration only (external), no body
 	nextTmp int
 	// anal caches block-graph analyses (see analysis.go). Never cloned:
-	// cloneFunction leaves it nil so copies start with no stale state.
+	// function clones leave it nil so copies start with no stale state.
 	anal *FuncAnalyses
+	// shared is set (atomically) when the function body is referenced by
+	// more than one Module after a copy-on-write Module.Clone. Shared bodies
+	// are immutable: the block mutators panic on them, and MaterializeModule
+	// replaces them with private copies before a pass may run.
+	shared uint32
+	// arenaLen / barenaLen record the instruction- and block-slab sizes of
+	// the clone that produced this function (0 for builder output). They
+	// bound the identity-checked remap tables used by the slab clone path.
+	arenaLen  int32
+	barenaLen int32
 }
+
+// isShared reports whether the function body is COW-shared between modules.
+func (f *Function) isShared() bool { return atomic.LoadUint32(&f.shared) == 1 }
+
+// markShared flags the body as COW-shared. Safe under concurrent clones.
+func (f *Function) markShared() { atomic.StoreUint32(&f.shared, 1) }
+
+// detachAnal drops the analysis cache with a skip-equal write, so calling it
+// on an already-detached (possibly shared) function is a pure read.
+func (f *Function) detachAnal() {
+	if f.anal != nil {
+		f.anal = nil
+	}
+}
+
+// Shared reports whether the function body is currently COW-shared (exported
+// for tests and accounting).
+func (f *Function) Shared() bool { return f.isShared() }
 
 // Entry returns the entry block.
 func (f *Function) Entry() *Block { return f.Blocks[0] }
@@ -57,6 +85,9 @@ type Block struct {
 	Name   string
 	Instrs []*Instr
 	parent *Function
+	// bid is this block's slot (1-based) in the block slab of the function
+	// clone that created it; 0 marks a stray heap block. See arena.go.
+	bid int32
 }
 
 // Parent returns the containing function.
@@ -74,8 +105,17 @@ func (b *Block) Term() *Instr {
 	return last
 }
 
+// guardMutable panics when the block belongs to a COW-shared function body,
+// turning silent corruption of a cached snapshot into a loud failure.
+func (b *Block) guardMutable() {
+	if b.parent != nil && b.parent.isShared() {
+		panic("ir: mutating a COW-shared function body; call MaterializeModule first")
+	}
+}
+
 // Append adds an instruction at the end of the block.
 func (b *Block) Append(in *Instr) *Instr {
+	b.guardMutable()
 	in.parent = b
 	b.Instrs = append(b.Instrs, in)
 	return in
@@ -83,6 +123,7 @@ func (b *Block) Append(in *Instr) *Instr {
 
 // InsertBefore inserts in before position idx.
 func (b *Block) InsertBefore(idx int, in *Instr) {
+	b.guardMutable()
 	in.parent = b
 	b.Instrs = append(b.Instrs, nil)
 	copy(b.Instrs[idx+1:], b.Instrs[idx:])
@@ -91,6 +132,7 @@ func (b *Block) InsertBefore(idx int, in *Instr) {
 
 // RemoveAt deletes the instruction at position idx.
 func (b *Block) RemoveAt(idx int) {
+	b.guardMutable()
 	b.Instrs[idx].parent = nil
 	b.Instrs = append(b.Instrs[:idx], b.Instrs[idx+1:]...)
 }
@@ -199,22 +241,37 @@ func (m *Module) RemoveFunc(name string) {
 	}
 }
 
-// Renumber assigns sequential IDs to every instruction for printing.
+// Renumber assigns sequential IDs to every instruction for printing and for
+// the interpreter's register file. Writes are skip-equal: renumbering an
+// already-dense module performs only reads, so concurrent renumbers of a
+// COW-shared module (e.g. machine.Link on two clones of one snapshot) are
+// race-free provided the module was renumbered once before it was shared —
+// Module.Clone guarantees exactly that.
 func (m *Module) Renumber() {
 	for _, f := range m.Funcs {
 		id := 0
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
-				in.ID = id
+				if in.ID != id {
+					in.ID = id
+				}
 				id++
 			}
 		}
 	}
 }
 
-// Clone deep-copies the module. Instruction operands, phi incoming blocks and
-// branch targets are remapped to the cloned objects; constants are shared
-// (they are immutable).
+// Clone returns a copy-on-write copy of the module: a fresh Module wrapper
+// (own Funcs/Globals slices, deep-copied Meta) whose function bodies and
+// globals are shared with m. Both m and the clone see their shared bodies
+// flagged; the first pass to run on either side goes through
+// MaterializeModule, which swaps in private deep copies. Reads (printing,
+// fingerprinting, verification, interpretation) work directly on shared
+// bodies.
+//
+// Clone renumbers m and detaches its analysis caches before sharing, with
+// skip-equal writes, so cloning an already-shared module concurrently from
+// several goroutines is safe.
 func (m *Module) Clone() *Module {
 	out := &Module{Name: m.Name, TargetVecWidth64: m.TargetVecWidth64}
 	if m.Meta != nil {
@@ -223,103 +280,22 @@ func (m *Module) Clone() *Module {
 			out.Meta[k] = v
 		}
 	}
-	gmap := make(map[*Global]*Global, len(m.Globals))
-	for _, g := range m.Globals {
-		ng := &Global{Name: g.Name, Elem: g.Elem, Size: g.Size, Const: g.Const}
-		if g.InitI != nil {
-			ng.InitI = append([]int64(nil), g.InitI...)
-		}
-		if g.InitF != nil {
-			ng.InitF = append([]float64(nil), g.InitF...)
-		}
-		gmap[g] = ng
-		out.Globals = append(out.Globals, ng)
+	m.Renumber()
+	out.Globals = make([]*Global, len(m.Globals))
+	copy(out.Globals, m.Globals)
+	out.Funcs = make([]*Function, len(m.Funcs))
+	for i, f := range m.Funcs {
+		f.detachAnal()
+		f.markShared()
+		out.Funcs[i] = f
 	}
-	for _, f := range m.Funcs {
-		out.Funcs = append(out.Funcs, cloneFunction(f, gmap))
-	}
+	cowClones.Add(1)
 	return out
 }
 
 // CloneFunction deep-copies a single function (globals are shared).
 func CloneFunction(f *Function) *Function {
 	return cloneFunction(f, nil)
-}
-
-func cloneFunction(f *Function, gmap map[*Global]*Global) *Function {
-	nf := &Function{Name: f.Name, RetTy: f.RetTy, Attrs: f.Attrs, IsDecl: f.IsDecl, nextTmp: f.nextTmp}
-	pmap := make(map[*Param]*Param, len(f.Params))
-	for _, p := range f.Params {
-		np := &Param{Name: p.Name, Ty: p.Ty, Index: p.Index}
-		pmap[p] = np
-		nf.Params = append(nf.Params, np)
-	}
-	bmap := make(map[*Block]*Block, len(f.Blocks))
-	imap := make(map[*Instr]*Instr)
-	for _, b := range f.Blocks {
-		nb := &Block{Name: b.Name, parent: nf}
-		bmap[b] = nb
-		nf.Blocks = append(nf.Blocks, nb)
-	}
-	// First pass: create instruction shells so forward references (phis)
-	// can be remapped.
-	for _, b := range f.Blocks {
-		nb := bmap[b]
-		for _, in := range b.Instrs {
-			ni := &Instr{
-				Op: in.Op, Ty: in.Ty, Pred: in.Pred, Callee: in.Callee,
-				AllocTy: in.AllocTy, NAlloc: in.NAlloc, Flags: in.Flags,
-				ID: in.ID, parent: nb,
-			}
-			if in.Cases != nil {
-				ni.Cases = append([]int64(nil), in.Cases...)
-			}
-			imap[in] = ni
-			nb.Instrs = append(nb.Instrs, ni)
-		}
-	}
-	remap := func(v Value) Value {
-		switch t := v.(type) {
-		case *Instr:
-			nv, ok := imap[t]
-			if !ok {
-				panic(fmt.Sprintf("ir: clone: operand instruction not in function %s", f.Name))
-			}
-			return nv
-		case *Param:
-			if np, ok := pmap[t]; ok {
-				return np
-			}
-			return t
-		case *Global:
-			if gmap != nil {
-				if ng, ok := gmap[t]; ok {
-					return ng
-				}
-			}
-			return t
-		default:
-			return v // constants are immutable and shared
-		}
-	}
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			ni := imap[in]
-			if len(in.Ops) > 0 {
-				ni.Ops = make([]Value, len(in.Ops))
-				for i, op := range in.Ops {
-					ni.Ops[i] = remap(op)
-				}
-			}
-			if len(in.Blocks) > 0 {
-				ni.Blocks = make([]*Block, len(in.Blocks))
-				for i, tb := range in.Blocks {
-					ni.Blocks[i] = bmap[tb]
-				}
-			}
-		}
-	}
-	return nf
 }
 
 // ReplaceAllUses rewrites every use of old as new throughout the function.

@@ -77,7 +77,11 @@ func TestQuickClonePreservesStructure(t *testing.T) {
 		if c.String() != orig {
 			return false
 		}
-		// Mutate the clone heavily.
+		// Mutate the clone heavily. Clones are copy-on-write: materialize
+		// first, as the pass manager does before running any pass.
+		if !MaterializeModule(c) {
+			return false
+		}
 		cf := c.Func("main")
 		for len(cf.Blocks[0].Instrs) > 1 {
 			cf.Blocks[0].RemoveAt(0)

@@ -128,6 +128,13 @@ type Instr struct {
 	Flags   InstrFlags
 	ID      int // printing/debugging id, assigned by renumber
 	parent  *Block
+	// aid is this instruction's slot (1-based) in the arena slab of the
+	// function clone that created it; 0 marks a stray heap instruction
+	// (builder output or pass-inserted). Clone remap tables are indexed by
+	// aid with an identity check, so a stale aid (an instruction spliced in
+	// from another function's slab) degrades to the map path, never to a
+	// wrong mapping. See arena.go.
+	aid int32
 }
 
 // Type implements Value.

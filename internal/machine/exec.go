@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ir"
 )
@@ -78,6 +80,23 @@ type Machine struct {
 	MaxSteps     int64
 	MaxCallDepth int
 	StackWords   int64
+
+	// statePool recycles execution state (the flat memory slab, predictor
+	// and attribution maps, frame register files) across runs. Reused memory
+	// is scrubbed back to the all-zero state a fresh allocation would have,
+	// so pooled and unpooled runs are bit-identical.
+	statePool sync.Pool
+}
+
+// Process-global interpreter scratch-pool counters (Prometheus/env-field
+// reporting only: pool behaviour is scheduling-dependent, so these must
+// never reach canonical journal fields).
+var machinePoolGets, machinePoolNews atomic.Uint64
+
+// PoolCounters returns the cumulative interpreter scratch-pool acquisitions
+// and the subset that had to allocate fresh state.
+func PoolCounters() (gets, news uint64) {
+	return machinePoolGets.Load(), machinePoolNews.Load()
 }
 
 // New returns a machine with sensible execution limits.
@@ -128,6 +147,49 @@ type execState struct {
 	// call() can attribute exclusive time.
 	curChild float64
 	depth    int
+	// hi is the dirty high-water mark of mem: one past the highest index
+	// written this run (globals, stack growth, stores, memset/memcpy). On
+	// reuse only [GlobalWords, hi) needs scrubbing — the global region is
+	// fully rewritten at run start anyway.
+	hi int64
+	// valFree is a LIFO freelist of frame register files ([]Val) released by
+	// returned calls; entries are scrubbed on reuse.
+	valFree [][]Val
+	// phiTmp and opsTmp are per-state scratch for phi parallel copies and
+	// pure-op operand evaluation. Neither use spans a call, so one buffer
+	// per state suffices even under recursion.
+	phiTmp []Val
+	opsTmp []Val
+}
+
+// dirty widens the scrub region to cover a write ending at index end.
+func (st *execState) dirty(end int64) {
+	if end > st.hi {
+		st.hi = end
+	}
+}
+
+// getVals returns a zeroed []Val of length n, reusing a freed frame when the
+// most recently released one is large enough.
+func (st *execState) getVals(n int) []Val {
+	if k := len(st.valFree); k > 0 {
+		if s := st.valFree[k-1]; cap(s) >= n {
+			st.valFree = st.valFree[:k-1]
+			s = s[:n]
+			for i := range s {
+				s[i] = Val{}
+			}
+			return s
+		}
+	}
+	return make([]Val, n)
+}
+
+// putVals releases a frame slice for reuse by later calls.
+func (st *execState) putVals(s []Val) {
+	if cap(s) > 0 {
+		st.valFree = append(st.valFree, s)
+	}
 }
 
 // call executes f, attributing exclusive cycles to it.
@@ -142,6 +204,56 @@ func (st *execState) call(f *ir.Function, args []Val) (Val, error) {
 	return v, err
 }
 
+// acquireState returns a run-ready execution state: pooled when available
+// (scrubbed back to fresh-allocation equivalence), newly allocated otherwise.
+func (m *Machine) acquireState(img *Image) *execState {
+	machinePoolGets.Add(1)
+	need := img.GlobalWords + m.StackWords
+	st, _ := m.statePool.Get().(*execState)
+	if st == nil || int64(cap(st.mem)) < need || len(st.dtags) != m.Prof.DCacheLines {
+		machinePoolNews.Add(1)
+		st = &execState{
+			mem:   make([]cell, need),
+			bpred: make(map[*ir.Instr]uint8),
+			dtags: make([]int64, m.Prof.DCacheLines),
+		}
+	} else {
+		// Scrub what previous runs dirtied above the current global region
+		// (the globals themselves are fully rewritten below). A wild but
+		// in-bounds pointer above sp must read zero, exactly as from a fresh
+		// allocation. Scrub before re-slicing: hi is bounded by the previous
+		// run's length, which may exceed this image's need.
+		if st.hi > img.GlobalWords {
+			scrub := st.mem[img.GlobalWords:st.hi]
+			for i := range scrub {
+				scrub[i] = cell{}
+			}
+		}
+		st.mem = st.mem[:need]
+		clear(st.bpred)
+	}
+	st.m, st.img = m, img
+	st.sp = img.GlobalWords
+	st.hi = img.GlobalWords
+	st.cycles, st.steps, st.curChild, st.depth = 0, 0, 0, 0
+	st.out = nil // escapes via Result
+	st.called = make(map[*ir.Function]bool)
+	st.fcyc = make(map[*ir.Function]float64)
+	for i := range st.dtags {
+		st.dtags[i] = -1
+	}
+	return st
+}
+
+// releaseState returns st to the pool. Escaping references (out) were
+// detached by the caller; maps that do not escape are cleared lazily on
+// reuse.
+func (m *Machine) releaseState(st *execState) {
+	st.img = nil
+	st.called, st.fcyc = nil, nil
+	m.statePool.Put(st)
+}
+
 // Run executes the named entry function with the given arguments and returns
 // the observable output and modelled cycle count.
 func (m *Machine) Run(img *Image, entry string, args ...Val) (*Result, error) {
@@ -149,19 +261,8 @@ func (m *Machine) Run(img *Image, entry string, args ...Val) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoFunction, entry)
 	}
-	st := &execState{
-		m:      m,
-		img:    img,
-		mem:    make([]cell, img.GlobalWords+m.StackWords),
-		sp:     img.GlobalWords,
-		bpred:  make(map[*ir.Instr]uint8),
-		dtags:  make([]int64, m.Prof.DCacheLines),
-		called: make(map[*ir.Function]bool),
-		fcyc:   make(map[*ir.Function]float64),
-	}
-	for i := range st.dtags {
-		st.dtags[i] = -1
-	}
+	st := m.acquireState(img)
+	defer m.releaseState(st)
 	// Initialise global memory.
 	for _, mod := range img.Modules {
 		for _, g := range mod.Globals {
@@ -208,8 +309,12 @@ func (st *execState) callInner(f *ir.Function, args []Val) (Val, error) {
 	st.called[f] = true
 	st.cycles += st.m.Prof.CallOver
 
-	regs := make([]Val, f.NumInstrs())
-	params := make([]Val, len(f.Params))
+	regs := st.getVals(f.NumInstrs())
+	params := st.getVals(len(f.Params))
+	defer func() {
+		st.putVals(regs)
+		st.putVals(params)
+	}()
 	copy(params, args)
 	savedSP := st.sp
 
@@ -234,7 +339,12 @@ func (st *execState) callInner(f *ir.Function, args []Val) (Val, error) {
 		// Phi nodes: parallel copy semantics on the incoming edge.
 		phis := cur.Phis()
 		if len(phis) > 0 {
-			tmp := make([]Val, len(phis))
+			// Parallel-copy scratch: fully written before read, never live
+			// across a call, so the per-state buffer is safe under recursion.
+			if cap(st.phiTmp) < len(phis) {
+				st.phiTmp = make([]Val, len(phis))
+			}
+			tmp := st.phiTmp[:len(phis)]
 			for pi, phi := range phis {
 				found := false
 				for i, from := range phi.Blocks {
@@ -358,7 +468,10 @@ func (st *execState) callInner(f *ir.Function, args []Val) (Val, error) {
 				return eval(in.Ops[0])
 
 			case ir.OpCall:
-				argv := make([]Val, len(in.Ops))
+				// argv is live across the callee, so it comes from the
+				// freelist (each frame gets its own) rather than a shared
+				// scratch buffer.
+				argv := st.getVals(len(in.Ops))
 				for i, a := range in.Ops {
 					v, err := eval(a)
 					if err != nil {
@@ -383,6 +496,7 @@ func (st *execState) callInner(f *ir.Function, args []Val) (Val, error) {
 					}
 					regs[in.ID] = v
 				}
+				st.putVals(argv)
 
 			default:
 				v, err := st.evalPure(in, eval)
@@ -406,7 +520,12 @@ func blockName(b *ir.Block) string {
 
 // evalPure computes arithmetic, comparison, cast, select and vector ops.
 func (st *execState) evalPure(in *ir.Instr, eval func(ir.Value) (Val, error)) (Val, error) {
-	ops := make([]Val, len(in.Ops))
+	// Operand scratch: evalPure never re-enters the interpreter, so the
+	// per-state buffer cannot be live twice.
+	if cap(st.opsTmp) < len(in.Ops) {
+		st.opsTmp = make([]Val, len(in.Ops))
+	}
+	ops := st.opsTmp[:len(in.Ops)]
 	for i, o := range in.Ops {
 		v, err := eval(o)
 		if err != nil {
@@ -672,6 +791,7 @@ func (st *execState) store(addr int64, ty ir.Type, v Val) error {
 		return ErrSegfault
 	}
 	st.chargeMem(addr, n, false)
+	st.dirty(addr + n)
 	put := func(a int64, x Val) {
 		if ty.Kind.IsFloat() {
 			st.mem[a].f = x.F
@@ -767,6 +887,7 @@ func (st *execState) builtin(name string, args []Val) (Val, error) {
 		if ptr < 0 || ptr+n > int64(len(st.mem)) || n < 0 {
 			return Val{}, ErrSegfault
 		}
+		st.dirty(ptr + n)
 		for i := int64(0); i < n; i++ {
 			st.mem[ptr+i] = cell{i: v, f: float64(v)}
 		}
@@ -778,6 +899,7 @@ func (st *execState) builtin(name string, args []Val) (Val, error) {
 		if dst < 0 || src < 0 || n < 0 || dst+n > int64(len(st.mem)) || src+n > int64(len(st.mem)) {
 			return Val{}, ErrSegfault
 		}
+		st.dirty(dst + n)
 		copy(st.mem[dst:dst+n], st.mem[src:src+n])
 		st.cycles += float64(n) * 0.75
 		return Val{}, nil

@@ -22,6 +22,7 @@ package analyze
 
 import (
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -143,9 +144,32 @@ type CacheReport struct {
 	GPFits    int `json:"gp_fits"`
 	GPAppends int `json:"gp_appends"`
 
+	// CowShared/CowMaterialized are the final cumulative copy-on-write
+	// clone counters from cow-stats events: module clones handed out
+	// sharing function bodies, and the subset that materialized private
+	// bodies because a pass mutated them. The gap is allocation work the
+	// COW layer avoided outright.
+	CowShared       int `json:"cow_shared"`
+	CowMaterialized int `json:"cow_materialized"`
+
+	// EnvPools holds the final process-global pool/arena counters from the
+	// cow-stats event's env_-prefixed fields (sync.Pool gets/news, slab
+	// clone totals), when the journal retains them. Canonicalised journals
+	// strip these, so the map may be empty.
+	EnvPools map[string]uint64 `json:"env_pools,omitempty"`
+
 	// ReusedMeasurements counts duplicate-statistics candidates whose
 	// profiled value was reused without consuming budget.
 	ReusedMeasurements int `json:"reused_measurements"`
+}
+
+// CowShareRate is the fraction of COW clone handouts that never materialized
+// private function bodies — pure pointer-copy clones.
+func (c *CacheReport) CowShareRate() float64 {
+	if c.CowShared == 0 {
+		return 0
+	}
+	return float64(c.CowShared-c.CowMaterialized) / float64(c.CowShared)
 }
 
 // PrefixHitRate is the fraction of pipeline passes the prefix cache skipped.
@@ -341,6 +365,17 @@ func (a *Analyzer) Feed(e *obs.Event) {
 		r.Cache.PrefixReplayedPasses = int(fieldFloat(f, "replayed_passes"))
 		r.Cache.PrefixSnapshotBytes = int64(fieldFloat(f, "snapshot_bytes"))
 		r.Cache.PrefixEvictions = int(fieldFloat(f, "evictions"))
+	case "cow-stats":
+		r.Cache.CowShared = int(fieldFloat(f, "shared"))
+		r.Cache.CowMaterialized = int(fieldFloat(f, "materialized"))
+		for k := range f {
+			if env, ok := strings.CutPrefix(k, "env_"); ok {
+				if r.Cache.EnvPools == nil {
+					r.Cache.EnvPools = map[string]uint64{}
+				}
+				r.Cache.EnvPools[env] = uint64(fieldFloat(f, k))
+			}
+		}
 	case "gp-stats":
 		r.Cache.GPFits = int(fieldFloat(f, "fits"))
 		r.Cache.GPAppends = int(fieldFloat(f, "appends"))

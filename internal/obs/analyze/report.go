@@ -48,6 +48,22 @@ func WriteReport(w io.Writer, r *Report) {
 	fmt.Fprintf(w, "  module cache: %d hits / %d misses\n", c.ModuleHits, c.ModuleMisses)
 	fmt.Fprintf(w, "  prefix cache: %d passes saved / %d replayed (%.1f%% of pipeline work skipped, %d snapshot bytes, %d evictions)\n",
 		c.PrefixSavedPasses, c.PrefixReplayedPasses, 100*c.PrefixHitRate(), c.PrefixSnapshotBytes, c.PrefixEvictions)
+	if c.CowShared > 0 {
+		fmt.Fprintf(w, "  cow clones: %d handed out / %d materialized (%.1f%% stayed shared)\n",
+			c.CowShared, c.CowMaterialized, 100*c.CowShareRate())
+	}
+	if len(c.EnvPools) > 0 {
+		keys := make([]string, 0, len(c.EnvPools))
+		for k := range c.EnvPools {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(w, "  env pools:")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%d", k, c.EnvPools[k])
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "  surrogate: %d full fits / %d incremental appends\n", c.GPFits, c.GPAppends)
 	fmt.Fprintf(w, "  measurement dedup: %d duplicate-statistics candidates reused without budget\n", c.ReusedMeasurements)
 

@@ -429,6 +429,25 @@ func (r *Recorder) PrefixCache(parent int64, savedPasses, replayedPasses int, sn
 	})
 }
 
+// CowStats records cumulative copy-on-write module-clone accounting at a
+// serial synchronisation point (after a measurement): clones handed out
+// sharing function bodies with their source, and the subset that went on to
+// materialize private bodies. Both are deterministic functions of the
+// evaluated workload, so they are canonical fields. env carries
+// process-global pool/arena counters (sync.Pool hit rates, slab clone
+// totals) that depend on scheduling; each key is journaled with an "env_"
+// prefix so Canonicalize strips it.
+func (r *Recorder) CowStats(parent int64, shared, materialized int, env map[string]uint64) {
+	if r == nil {
+		return
+	}
+	f := map[string]any{"shared": shared, "materialized": materialized}
+	for k, v := range env {
+		f["env_"+k] = v
+	}
+	r.emit("cow-stats", -1, parent, f)
+}
+
 // PlannerBuild records one statistics-connectivity planner construction: the
 // module probed, the interaction graph's active node and positive-weight edge
 // counts, how many compile-only prefix probes fed it, and the length of the

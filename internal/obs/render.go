@@ -97,6 +97,11 @@ var renderers = map[string]func(w io.Writer, e *Event){
 			fieldInt(f, "saved_passes"), fieldInt(f, "replayed_passes"),
 			fieldInt64(f, "snapshot_bytes"), fieldInt(f, "evictions"))
 	},
+	"cow-stats": func(w io.Writer, e *Event) {
+		f := e.Fields
+		fmt.Fprintf(w, "  cow: %d shared clones / %d materialized\n",
+			fieldInt(f, "shared"), fieldInt(f, "materialized"))
+	},
 	"planner-build": func(w io.Writer, e *Event) {
 		f := e.Fields
 		fmt.Fprintf(w, "  planner: module %-14s %d nodes, %d edges (%d probes) -> %d-pass plan\n",

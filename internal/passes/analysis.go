@@ -60,10 +60,13 @@ func isDead(m *ir.Module, f *ir.Function, in *ir.Instr) bool {
 // is set it iterates until no more can be removed. Returns the removal count.
 func removeDeadInstrs(m *ir.Module, f *ir.Function, fixpoint bool) int {
 	total := 0
+	sc := getScratch()
+	defer putScratch(sc)
+	used := sc.vset
 	for {
 		removed := 0
 		// Count uses once per round.
-		used := make(map[ir.Value]bool)
+		clear(used)
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
 				for _, op := range in.Ops {

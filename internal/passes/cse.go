@@ -15,6 +15,9 @@ type cseConfig struct {
 // runCSE performs value numbering and returns (#instructions, #loads) CSE'd.
 func runCSE(m *ir.Module, f *ir.Function, cfg cseConfig) (int, int) {
 	nInstr, nLoad := 0, 0
+	// pureKey canonicalizes commutative operands via ID comparison; refresh
+	// IDs so matching is a pure function of structure, not of ID history.
+	refreshIDs(f)
 	cfgG, dt := domOf(f)
 	children := make(map[*ir.Block][]*ir.Block)
 	for b, id := range dt.IDom {

@@ -51,8 +51,11 @@ func init() {
 // and transitively their operands; everything else — including cyclic dead
 // phi webs that plain DCE cannot remove — is deleted.
 func aggressiveDCE(m *ir.Module, f *ir.Function) int {
-	live := make(map[*ir.Instr]bool)
-	var work []*ir.Instr
+	sc := getScratch()
+	defer putScratch(sc)
+	live := sc.iset
+	work := sc.work
+	defer func() { sc.work = work }() // hand grown capacity back to the pool
 	markRoot := func(in *ir.Instr) {
 		if !live[in] {
 			live[in] = true

@@ -13,7 +13,13 @@ func foldConst(in *ir.Instr) *ir.Const {
 	if in.Ty.IsVector() {
 		return nil
 	}
-	cs := make([]*ir.Const, len(in.Ops))
+	// Fixed-size operand buffer: every foldable op has at most 3 operands
+	// (select), and this runs on every instruction a fold sweep probes, so a
+	// per-call slice allocation would dominate the pipeline's allocations.
+	var cs [3]*ir.Const
+	if len(in.Ops) > len(cs) {
+		return nil
+	}
 	for i, op := range in.Ops {
 		c, ok := op.(*ir.Const)
 		if !ok {

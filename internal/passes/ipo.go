@@ -2,6 +2,7 @@ package passes
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/ir"
@@ -576,16 +577,36 @@ func mergeConstGlobals(m *ir.Module) int {
 	n := 0
 	seen := map[string]*ir.Global{}
 	replace := map[*ir.Global]*ir.Global{}
+	// The key is a strconv-built injective encoding of (elem type, size,
+	// init contents): this pass runs in every -O3 pipeline, and a
+	// reflect-driven Sprintf per global showed up as a top allocation site.
+	var keyBuf []byte
 	for _, g := range m.Globals {
 		if !g.Const {
 			continue
 		}
-		key := fmt.Sprintf("%v|%d|%v|%v", g.Elem, g.Size, g.InitI, g.InitF)
-		if prev, ok := seen[key]; ok {
+		b := keyBuf[:0]
+		b = strconv.AppendInt(b, int64(g.Elem.Kind), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(g.Elem.Lanes), 10)
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(g.Size), 10)
+		b = append(b, '|')
+		for _, v := range g.InitI {
+			b = strconv.AppendInt(b, v, 10)
+			b = append(b, ',')
+		}
+		b = append(b, '|')
+		for _, v := range g.InitF {
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+			b = append(b, ',')
+		}
+		keyBuf = b
+		if prev, ok := seen[string(b)]; ok {
 			replace[g] = prev
 			n++
 		} else {
-			seen[key] = g
+			seen[string(b)] = g
 		}
 	}
 	if len(replace) == 0 {

@@ -35,6 +35,9 @@ func NewManager() *Manager { return &Manager{CacheAnalyses: true} }
 // prefix-snapshot compilation cache resumes from: verification policy is the
 // caller's, exactly as in a mid-sequence position of Run.
 func (pm *Manager) RunOne(m *ir.Module, p *Pass, st Stats) {
+	// COW: give the module private bodies before any pass may mutate it.
+	// No-op unless the module still shares function bodies with a clone.
+	ir.MaterializeModule(m)
 	if pm.CacheAnalyses {
 		// Enable on every function: passes like inline add functions mid-
 		// sequence, and enabling is a no-op when already attached.

@@ -123,6 +123,10 @@ func init() {
 // left-leaning chain with constants folded, exposing CSE opportunities.
 func reassociate(f *ir.Function) int {
 	n := 0
+	// valueLess compares instruction IDs; refresh them first so the result
+	// is a pure function of module structure, not of ID history (IDs go
+	// stale as passes insert instructions, and snapshot clones renumber).
+	refreshIDs(f)
 	// Precompute which instructions feed a same-op instruction (non-roots).
 	fed := make(map[*ir.Instr]bool)
 	for _, b := range f.Blocks {
@@ -237,18 +241,26 @@ func identityConst(op ir.Op, c *ir.Const) bool {
 	return false
 }
 
+// refreshIDs assigns dense block-order IDs, the canonical numbering every
+// ID-dependent ordering decision must be made against.
+func refreshIDs(f *ir.Function) {
+	id := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.ID != id {
+				in.ID = id
+			}
+			id++
+		}
+	}
+}
+
 // canonicalizeCommutative sorts commutative operand pairs into a stable
 // order, making structurally-equal expressions literally equal for CSE.
 func canonicalizeCommutative(f *ir.Function) int {
 	n := 0
 	// valueLess compares instruction IDs; refresh them first.
-	id := 0
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			in.ID = id
-			id++
-		}
-	}
+	refreshIDs(f)
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			if !in.Op.IsCommutative() || len(in.Ops) != 2 {

@@ -1,0 +1,52 @@
+package passes
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ir"
+)
+
+// scratch bundles the transient marking sets and worklists the hot DCE-family
+// passes need. Instances are pooled so a long tuning run (hundreds of
+// thousands of pass executions over small functions) does not re-grow the
+// same maps on every invocation. Maps are handed out empty and cleared on
+// release; the worklist is handed out at length zero with capacity retained.
+type scratch struct {
+	vset map[ir.Value]bool
+	iset map[*ir.Instr]bool
+	work []*ir.Instr
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		passPoolNews.Add(1)
+		return &scratch{
+			vset: make(map[ir.Value]bool),
+			iset: make(map[*ir.Instr]bool),
+		}
+	},
+}
+
+// Process-global pass scratch-pool counters (Prometheus/env-field reporting
+// only: pool behaviour is scheduling-dependent, so these must never reach
+// canonical journal fields).
+var passPoolGets, passPoolNews atomic.Uint64
+
+// PoolCounters returns the cumulative pass scratch-pool acquisitions and the
+// subset that had to allocate fresh scratch.
+func PoolCounters() (gets, news uint64) {
+	return passPoolGets.Load(), passPoolNews.Load()
+}
+
+func getScratch() *scratch {
+	passPoolGets.Add(1)
+	return scratchPool.Get().(*scratch)
+}
+
+func putScratch(s *scratch) {
+	clear(s.vset)
+	clear(s.iset)
+	s.work = s.work[:0]
+	scratchPool.Put(s)
+}
