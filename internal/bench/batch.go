@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/evalpool"
 	"repro/internal/ir"
+	"repro/internal/machine"
 	"repro/internal/passes"
 )
 
@@ -44,6 +45,16 @@ type CounterDelta struct {
 	Compilations    int   `json:"compilations"`
 	CowShared       int   `json:"cow_shared"`
 	CowMaterialized int   `json:"cow_materialized"`
+	// Bytecode-engine accounting (see machine.BcStats). Runner batches only
+	// compile — they never execute — so these are zero in remote deltas;
+	// they exist so fleet aggregation reproduces single-process totals
+	// field-for-field.
+	BcLoweredFuncs  int64 `json:"bc_lowered_funcs"`
+	BcBytecodeBytes int64 `json:"bc_bytecode_bytes"`
+	BcFusedSites    int64 `json:"bc_fused_sites"`
+	BcSuperHits     int64 `json:"bc_super_hits"`
+	BcCodeHits      int64 `json:"bc_code_hits"`
+	BcCodeMisses    int64 `json:"bc_code_misses"`
 }
 
 // Add accumulates other into d.
@@ -57,6 +68,12 @@ func (d *CounterDelta) Add(other CounterDelta) {
 	d.Compilations += other.Compilations
 	d.CowShared += other.CowShared
 	d.CowMaterialized += other.CowMaterialized
+	d.BcLoweredFuncs += other.BcLoweredFuncs
+	d.BcBytecodeBytes += other.BcBytecodeBytes
+	d.BcFusedSites += other.BcFusedSites
+	d.BcSuperHits += other.BcSuperHits
+	d.BcCodeHits += other.BcCodeHits
+	d.BcCodeMisses += other.BcCodeMisses
 }
 
 // counterSnap is a point-in-time copy of the batch-relevant counters.
@@ -64,9 +81,11 @@ type counterSnap struct {
 	hits, miss, saved, replayed, evict, comps int
 	cowShared, cowMat                         int
 	bytes                                     int64
+	bc                                        machine.BcStats
 }
 
 func (ev *Evaluator) counterSnapshot() counterSnap {
+	bc := ev.meas.Machine.BcCounters()
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
 	return counterSnap{
@@ -75,6 +94,7 @@ func (ev *Evaluator) counterSnapshot() counterSnap {
 		evict: ev.snapEvict, comps: ev.Compilations,
 		cowShared: ev.cowShared, cowMat: ev.cowMaterialized,
 		bytes: ev.snapBytes,
+		bc:    bc,
 	}
 }
 
@@ -89,6 +109,12 @@ func (after counterSnap) sub(before counterSnap) CounterDelta {
 		Compilations:    after.comps - before.comps,
 		CowShared:       after.cowShared - before.cowShared,
 		CowMaterialized: after.cowMat - before.cowMat,
+		BcLoweredFuncs:  after.bc.LoweredFuncs - before.bc.LoweredFuncs,
+		BcBytecodeBytes: after.bc.BytecodeBytes - before.bc.BytecodeBytes,
+		BcFusedSites:    after.bc.FusedSites - before.bc.FusedSites,
+		BcSuperHits:     after.bc.SuperHits - before.bc.SuperHits,
+		BcCodeHits:      after.bc.CodeHits - before.bc.CodeHits,
+		BcCodeMisses:    after.bc.CodeMisses - before.bc.CodeMisses,
 	}
 }
 

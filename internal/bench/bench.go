@@ -335,6 +335,18 @@ type Evaluator struct {
 	obsMachNews  *obs.Gauge
 	obsPassGets  *obs.Gauge
 	obsPassNews  *obs.Gauge
+	obsBcFuncs   *obs.Gauge
+	obsBcBytes   *obs.Gauge
+	obsBcFused   *obs.Gauge
+	obsBcSuper   *obs.Gauge
+	obsBcHits    *obs.Gauge
+	obsBcMiss    *obs.Gauge
+
+	// bc0 is the measurement machine's bytecode-engine counter state at the
+	// end of construction, so BcCounters reports search work only (the
+	// baseline O3 build and reference runs do not count, mirroring the
+	// counter reset above).
+	bc0 machine.BcStats
 }
 
 // seqKey identifies one full (dataset, module, sequence) build; used to
@@ -394,7 +406,22 @@ func NewEvaluator(b *Benchmark, plat Platform, seed int64) (*Evaluator, error) {
 	ev.prefixSaved, ev.prefixReplayed, ev.snapEvict = 0, 0, 0
 	ev.cowShared, ev.cowMaterialized = 0, 0
 	ev.mu.Unlock()
+	// Snapshot the bytecode-engine counters accumulated by the baseline and
+	// reference runs; BcCounters subtracts this so it too reports search
+	// work only.
+	ev.bc0 = ev.meas.Machine.BcCounters()
 	return ev, nil
+}
+
+// BcCounters returns the measurement machine's bytecode-engine accounting
+// since the evaluator was built (the baseline build does not count):
+// functions lowered, bytecode bytes produced, superinstruction fusion sites
+// and executions, and lowered-code cache hits/misses. All lowering and
+// execution happen on the serial measurement path, so these are
+// deterministic functions of the evaluated workload and safe for canonical
+// journal fields.
+func (ev *Evaluator) BcCounters() machine.BcStats {
+	return ev.meas.Machine.BcCounters().Sub(ev.bc0)
 }
 
 func cloneAll(mods []*ir.Module) []*ir.Module {
@@ -462,6 +489,12 @@ func (ev *Evaluator) SetObs(m *obs.Metrics, prof *passes.Profile) {
 	ev.obsMachNews = m.Gauge("machine_pool_news_total")
 	ev.obsPassGets = m.Gauge("passes_pool_gets_total")
 	ev.obsPassNews = m.Gauge("passes_pool_news_total")
+	ev.obsBcFuncs = m.Gauge("machine_bc_lowered_funcs")
+	ev.obsBcBytes = m.Gauge("machine_bc_bytecode_bytes")
+	ev.obsBcFused = m.Gauge("machine_bc_fused_sites")
+	ev.obsBcSuper = m.Gauge("machine_bc_super_hits")
+	ev.obsBcHits = m.Gauge("machine_bc_code_hits")
+	ev.obsBcMiss = m.Gauge("machine_bc_code_misses")
 	h := m.Histogram("machine_run_cycles", obs.CyclesBuckets)
 	ev.meas.OnSample = func(cycles float64, _ time.Duration) { h.Observe(cycles) }
 }
@@ -515,6 +548,8 @@ func (ev *Evaluator) timeWithSequences(ctx context.Context, seqs map[string][]st
 		if err := machine.OutputsMatch(ev.refOut[ds], res.Output, 1e-6); err != nil {
 			return 0, nil, fmt.Errorf("bench: differential test failed: %w", err)
 		}
+		// The median result is not retained past the differential check.
+		machine.ReleaseResult(res)
 		if ds == 0 {
 			t0 = t
 		}

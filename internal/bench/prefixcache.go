@@ -578,6 +578,15 @@ func (ev *Evaluator) updateAnalysisGauges() {
 		ev.obsPassGets.Set(float64(pg))
 		ev.obsPassNews.Set(float64(pn))
 	}
+	if ev.obsBcFuncs != nil {
+		bc := ev.meas.Machine.BcCounters()
+		ev.obsBcFuncs.Set(float64(bc.LoweredFuncs))
+		ev.obsBcBytes.Set(float64(bc.BytecodeBytes))
+		ev.obsBcFused.Set(float64(bc.FusedSites))
+		ev.obsBcSuper.Set(float64(bc.SuperHits))
+		ev.obsBcHits.Set(float64(bc.CodeHits))
+		ev.obsBcMiss.Set(float64(bc.CodeMisses))
+	}
 }
 
 // CowCounters returns the copy-on-write clone accounting since the evaluator

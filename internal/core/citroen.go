@@ -178,6 +178,16 @@ type RuntimeBreakdown struct {
 	// private bodies because a pass mutated them.
 	CowShared       int
 	CowMaterialized int
+	// Bytecode measurement-engine accounting when the Task's evaluator
+	// executes through lowered code (zero otherwise): functions lowered,
+	// bytecode bytes produced, superinstruction fusion sites emitted and
+	// executed, and lowered-code cache hits/misses.
+	BcLoweredFuncs  int64
+	BcBytecodeBytes int64
+	BcFusedSites    int64
+	BcSuperHits     int64
+	BcCodeHits      int64
+	BcCodeMisses    int64
 }
 
 // Result is the tuning outcome.
@@ -1164,6 +1174,10 @@ func (t *Tuner) measureCandidate(ms *moduleState, seq []int, knownFV map[string]
 			}
 			t.rec.CowStats(t.curSpan, shared, mat, env)
 		}
+		if br, ok := t.task.(BcStatsReporter); ok {
+			lowered, bytes, fused, super, hits, misses := br.BcCounters()
+			t.rec.BcStats(t.curSpan, lowered, bytes, fused, super, hits, misses)
+		}
 		t.rec.GPStats(t.curSpan, t.res.Breakdown.GPFits, t.res.Breakdown.GPAppends)
 	}
 	return true
@@ -1209,6 +1223,11 @@ func (t *Tuner) finalize(start time.Time) {
 	if cr, ok := t.task.(CowStatsReporter); ok {
 		t.res.Breakdown.CowShared, t.res.Breakdown.CowMaterialized = cr.CowCounters()
 	}
+	if br, ok := t.task.(BcStatsReporter); ok {
+		t.res.Breakdown.BcLoweredFuncs, t.res.Breakdown.BcBytecodeBytes,
+			t.res.Breakdown.BcFusedSites, t.res.Breakdown.BcSuperHits,
+			t.res.Breakdown.BcCodeHits, t.res.Breakdown.BcCodeMisses = br.BcCounters()
+	}
 	if pp, ok := t.task.(PassProfileReporter); ok {
 		t.res.PassProfile = pp.PassProfile()
 	}
@@ -1222,13 +1241,19 @@ func (t *Tuner) finalize(start time.Time) {
 			"novel_selections":   t.res.NovelSelections,
 			"candidate_dup_rate": t.res.CandidateDupRate,
 			"cache_hits":         bd.CacheHits, "cache_misses": bd.CacheMisses,
-			"gp_fits":            bd.GPFits, "gp_appends": bd.GPAppends,
+			"gp_fits": bd.GPFits, "gp_appends": bd.GPAppends,
 			"prefix_saved_passes":    bd.PrefixSavedPasses,
 			"prefix_replayed_passes": bd.PrefixReplayedPasses,
 			"prefix_snapshot_bytes":  bd.PrefixSnapshotBytes,
 			"prefix_evictions":       bd.PrefixEvictions,
 			"cow_shared":             bd.CowShared,
 			"cow_materialized":       bd.CowMaterialized,
+			"bc_lowered_funcs":       bd.BcLoweredFuncs,
+			"bc_bytecode_bytes":      bd.BcBytecodeBytes,
+			"bc_fused_sites":         bd.BcFusedSites,
+			"bc_super_hits":          bd.BcSuperHits,
+			"bc_code_hits":           bd.BcCodeHits,
+			"bc_code_misses":         bd.BcCodeMisses,
 			"interrupted":            t.interrupted,
 			"breakdown": map[string]any{
 				"gp_fit_ns": bd.GPFit.Nanoseconds(), "acq_max_ns": bd.AcqMax.Nanoseconds(),

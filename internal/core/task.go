@@ -79,6 +79,20 @@ type CowStatsReporter interface {
 	CowCounters() (shared, materialized int)
 }
 
+// BcStatsReporter is optionally implemented by Tasks whose evaluator
+// measures through the bytecode execution engine. The tuner copies the
+// counters into Result.Breakdown and journals them after every measurement.
+// Lowering and execution happen on the serial measurement path, so all six
+// counters are deterministic functions of the evaluated workload and safe
+// for canonical journal fields.
+type BcStatsReporter interface {
+	// BcCounters returns cumulative bytecode-engine accounting: functions
+	// lowered, bytecode bytes produced, superinstruction fusion sites
+	// emitted, superinstruction executions, and lowered-code cache
+	// hits/misses.
+	BcCounters() (loweredFuncs, bytecodeBytes, fusedSites, superHits, codeHits, codeMisses int64)
+}
+
 // EnvStatsReporter is optionally implemented by Tasks that can report
 // process-global execution-environment counters (sync.Pool reuse rates,
 // slab-clone totals). Unlike CowStatsReporter these depend on goroutine
@@ -117,6 +131,9 @@ type BenchTask struct {
 	// CowFn, when set, reports the evaluator's copy-on-write clone
 	// accounting (see CowStatsReporter).
 	CowFn func() (shared, materialized int)
+	// BcFn, when set, reports the evaluator's bytecode-engine accounting
+	// (see BcStatsReporter).
+	BcFn func() (loweredFuncs, bytecodeBytes, fusedSites, superHits, codeHits, codeMisses int64)
 	// EnvFn, when set, reports process-global pool/arena counters
 	// (see EnvStatsReporter).
 	EnvFn func() map[string]uint64
@@ -169,6 +186,15 @@ func (t *BenchTask) CowCounters() (shared, materialized int) {
 		return 0, 0
 	}
 	return t.CowFn()
+}
+
+// BcCounters implements BcStatsReporter; without a BcFn it reports an
+// evaluator that never lowered bytecode (all zeros).
+func (t *BenchTask) BcCounters() (loweredFuncs, bytecodeBytes, fusedSites, superHits, codeHits, codeMisses int64) {
+	if t.BcFn == nil {
+		return 0, 0, 0, 0, 0, 0
+	}
+	return t.BcFn()
 }
 
 // EnvPoolStats implements EnvStatsReporter; without an EnvFn it reports no

@@ -214,7 +214,9 @@ func (c *Coordinator) Runners() []RunnerInfo {
 	for _, r := range c.runners {
 		out = append(out, c.infoLocked(r, now))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].RegisteredNS < out[j].RegisteredNS || (out[i].RegisteredNS == out[j].RegisteredNS && out[i].ID < out[j].ID) })
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].RegisteredNS < out[j].RegisteredNS || (out[i].RegisteredNS == out[j].RegisteredNS && out[i].ID < out[j].ID)
+	})
 	return out
 }
 
@@ -418,6 +420,20 @@ func (b *JobBinding) Task() core.Task {
 		b.mu.Lock()
 		defer b.mu.Unlock()
 		return s + b.agg.CowShared, m + b.agg.CowMaterialized
+	}
+	t.BcFn = func() (loweredFuncs, bytecodeBytes, fusedSites, superHits, codeHits, codeMisses int64) {
+		bc := b.ev.BcCounters()
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		// Remote deltas are structurally zero (runner batches compile but
+		// never execute); adding them keeps fleet totals defined as
+		// coordinator + accepted deltas like every other counter.
+		return bc.LoweredFuncs + b.agg.BcLoweredFuncs,
+			bc.BytecodeBytes + b.agg.BcBytecodeBytes,
+			bc.FusedSites + b.agg.BcFusedSites,
+			bc.SuperHits + b.agg.BcSuperHits,
+			bc.CodeHits + b.agg.BcCodeHits,
+			bc.CodeMisses + b.agg.BcCodeMisses
 	}
 	return t
 }

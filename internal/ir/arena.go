@@ -251,6 +251,12 @@ func MaterializeModule(m *Module) bool {
 	for i, f := range m.Funcs {
 		m.Funcs[i] = cloneFunction(f, gmap)
 	}
+	// Renumber the now-private bodies so every materialized module leaves
+	// here with dense instruction IDs. Together with Clone (which renumbers
+	// before sharing) and CompactModule this makes density an invariant of
+	// every module handed to machine.Link, which asserts it instead of
+	// mutating shared snapshots.
+	m.Renumber()
 	return true
 }
 

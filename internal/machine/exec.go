@@ -1,9 +1,11 @@
 package machine
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -40,11 +42,21 @@ type Image struct {
 	GlobalAddr  map[*ir.Global]int64
 	GlobalWords int64
 	funcSize    map[*ir.Function]int
+
+	// fp memoizes the image's content fingerprint — the bytecode code-cache
+	// key. Images are immutable after Link, so it is computed at most once.
+	fpOnce sync.Once
+	fp     uint64
 }
 
-// Link resolves cross-module references and lays out global memory. It
-// renumbers instructions so each function's IDs are dense from zero (the
-// interpreter's register file indexing relies on this).
+// Link resolves cross-module references and lays out global memory. The
+// interpreter's register files and the bytecode lowerer index by instruction
+// ID, so each function's IDs must be dense from zero. Link no longer
+// renumbers shared COW snapshots — Module.Clone, ir.MaterializeModule and
+// ir.CompactModule all renumber before a module can reach it, so linking is
+// read-only over shared bodies. Fully private modules (builder output that
+// never went through CompactModule) are renumbered here as before; a shared
+// module with stale IDs is a COW-invariant violation and fails the link.
 func Link(mods ...*ir.Module) (*Image, error) {
 	img := &Image{
 		Funcs:      make(map[string]*ir.Function),
@@ -54,7 +66,9 @@ func Link(mods ...*ir.Module) (*Image, error) {
 	}
 	addr := int64(0)
 	for _, m := range mods {
-		m.Renumber()
+		if err := ensureDense(m); err != nil {
+			return nil, err
+		}
 		for _, g := range m.Globals {
 			img.GlobalAddr[g] = addr
 			addr += int64(g.Size)
@@ -74,6 +88,38 @@ func Link(mods ...*ir.Module) (*Image, error) {
 	return img, nil
 }
 
+// ensureDense verifies that every function's instruction IDs are dense from
+// zero. Private modules are renumbered in place (the pre-COW behaviour, kept
+// for modules built directly against the builder API); shared modules must
+// already be dense — writing to them here would race with every other holder
+// of the snapshot.
+func ensureDense(m *ir.Module) error {
+	dense := true
+check:
+	for _, f := range m.Funcs {
+		id := 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.ID != id {
+					dense = false
+					break check
+				}
+				id++
+			}
+		}
+	}
+	if dense {
+		return nil
+	}
+	for _, f := range m.Funcs {
+		if f.Shared() {
+			return fmt.Errorf("machine: module %q has non-dense instruction IDs on a COW-shared body (missing renumber before sharing)", m.Name)
+		}
+	}
+	m.Renumber()
+	return nil
+}
+
 // Machine interprets linked images under a cost profile.
 type Machine struct {
 	Prof         Profile
@@ -81,11 +127,26 @@ type Machine struct {
 	MaxCallDepth int
 	StackWords   int64
 
+	// TreeWalk forces the original tree-walking interpreter. The bytecode
+	// engine (lower.go / bcexec.go) is the default; the tree-walker remains
+	// as the differential oracle for the fuzzer and as the fallback for
+	// images the lowerer cannot handle.
+	TreeWalk bool
+
 	// statePool recycles execution state (the flat memory slab, predictor
 	// and attribution maps, frame register files) across runs. Reused memory
 	// is scrubbed back to the all-zero state a fresh allocation would have,
-	// so pooled and unpooled runs are bit-identical.
+	// so pooled and unpooled runs are bit-identical. bcPool is the same for
+	// the bytecode engine's states.
 	statePool sync.Pool
+	bcPool    sync.Pool
+
+	// bcMu guards the lowered-code cache (keyed by image fingerprint; the
+	// profile is fixed per machine) and its counters.
+	bcMu      sync.Mutex
+	bcEntries map[uint64]*list.Element
+	bcLRU     *list.List
+	bcStats   BcStats
 }
 
 // Process-global interpreter scratch-pool counters (Prometheus/env-field
@@ -131,18 +192,19 @@ type cell struct {
 	f float64
 }
 
-type execState struct {
+// runCore is the execution state shared by the tree-walking interpreter and
+// the bytecode engine: the flat memory slab, data-cache model, output stream
+// and cycle/step accumulators. Both engines run the very same load/store/
+// builtin code on this struct, so those parts are bit-identical by
+// construction.
+type runCore struct {
 	m      *Machine
-	img    *Image
 	mem    []cell
 	sp     int64
 	cycles float64
 	steps  int64
 	out    []OutputEvent
-	bpred  map[*ir.Instr]uint8
 	dtags  []int64
-	called map[*ir.Function]bool
-	fcyc   map[*ir.Function]float64
 	// curChild accumulates cycles spent in callees of the current frame so
 	// call() can attribute exclusive time.
 	curChild float64
@@ -155,15 +217,46 @@ type execState struct {
 	// valFree is a LIFO freelist of frame register files ([]Val) released by
 	// returned calls; entries are scrubbed on reuse.
 	valFree [][]Val
-	// phiTmp and opsTmp are per-state scratch for phi parallel copies and
-	// pure-op operand evaluation. Neither use spans a call, so one buffer
-	// per state suffices even under recursion.
+	// phiTmp is per-state scratch for phi parallel copies. No use spans a
+	// call, so one buffer per state suffices even under recursion.
 	phiTmp []Val
+	// Cache geometry and cost constants hoisted out of chargeMem's per-access
+	// path (it dominates execution time in both engines). Derived from m.Prof
+	// by prepMemModel; DCacheLineElt and DCacheLines/dcacheWays are powers of
+	// two by Profile contract, so division becomes a shift and modulo a mask.
+	lineShift     uint
+	setMask       int64
+	costLoadHit   float64 // LoadHit
+	costLoadMiss  float64 // LoadHit + LoadMiss, pre-summed in charge order
+	costStore     float64 // Store
+	costStoreFill float64 // LoadMiss / 2 (write-allocate fill)
+}
+
+// prepMemModel derives the chargeMem constants from the machine profile.
+// Must run after st.m is set and before any load/store executes.
+func (st *runCore) prepMemModel() {
+	p := &st.m.Prof
+	st.lineShift = uint(bits.TrailingZeros64(uint64(p.DCacheLineElt)))
+	st.setMask = int64(p.DCacheLines/dcacheWays) - 1
+	st.costLoadHit = p.LoadHit
+	st.costLoadMiss = p.LoadHit + p.LoadMiss
+	st.costStore = p.Store
+	st.costStoreFill = p.LoadMiss / 2
+}
+
+type execState struct {
+	runCore
+	img    *Image
+	bpred  map[*ir.Instr]uint8
+	called map[*ir.Function]bool
+	fcyc   map[*ir.Function]float64
+	// opsTmp is scratch for pure-op operand evaluation; evalPure never
+	// re-enters the interpreter, so the buffer cannot be live twice.
 	opsTmp []Val
 }
 
 // dirty widens the scrub region to cover a write ending at index end.
-func (st *execState) dirty(end int64) {
+func (st *runCore) dirty(end int64) {
 	if end > st.hi {
 		st.hi = end
 	}
@@ -171,7 +264,7 @@ func (st *execState) dirty(end int64) {
 
 // getVals returns a zeroed []Val of length n, reusing a freed frame when the
 // most recently released one is large enough.
-func (st *execState) getVals(n int) []Val {
+func (st *runCore) getVals(n int) []Val {
 	if k := len(st.valFree); k > 0 {
 		if s := st.valFree[k-1]; cap(s) >= n {
 			st.valFree = st.valFree[:k-1]
@@ -186,7 +279,7 @@ func (st *execState) getVals(n int) []Val {
 }
 
 // putVals releases a frame slice for reuse by later calls.
-func (st *execState) putVals(s []Val) {
+func (st *runCore) putVals(s []Val) {
 	if cap(s) > 0 {
 		st.valFree = append(st.valFree, s)
 	}
@@ -213,9 +306,11 @@ func (m *Machine) acquireState(img *Image) *execState {
 	if st == nil || int64(cap(st.mem)) < need || len(st.dtags) != m.Prof.DCacheLines {
 		machinePoolNews.Add(1)
 		st = &execState{
-			mem:   make([]cell, need),
+			runCore: runCore{
+				mem:   make([]cell, need),
+				dtags: make([]int64, m.Prof.DCacheLines),
+			},
 			bpred: make(map[*ir.Instr]uint8),
-			dtags: make([]int64, m.Prof.DCacheLines),
 		}
 	} else {
 		// Scrub what previous runs dirtied above the current global region
@@ -233,6 +328,7 @@ func (m *Machine) acquireState(img *Image) *execState {
 		clear(st.bpred)
 	}
 	st.m, st.img = m, img
+	st.prepMemModel()
 	st.sp = img.GlobalWords
 	st.hi = img.GlobalWords
 	st.cycles, st.steps, st.curChild, st.depth = 0, 0, 0, 0
@@ -250,20 +346,43 @@ func (m *Machine) acquireState(img *Image) *execState {
 // reuse.
 func (m *Machine) releaseState(st *execState) {
 	st.img = nil
+	st.out = nil
 	st.called, st.fcyc = nil, nil
 	m.statePool.Put(st)
 }
 
-// Run executes the named entry function with the given arguments and returns
-// the observable output and modelled cycle count.
-func (m *Machine) Run(img *Image, entry string, args ...Val) (*Result, error) {
-	f, ok := img.Funcs[entry]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoFunction, entry)
+// resultPool recycles Result values (and their Output / FuncCycles backing
+// storage) across measurement runs. Callers done with a Result hand it back
+// via ReleaseResult; retained results simply stay out of the pool.
+var resultPool sync.Pool
+
+// acquireResult returns a zeroed Result whose Output and FuncCycles storage
+// may be recycled from an earlier released run.
+func acquireResult() *Result {
+	machinePoolGets.Add(1)
+	r, _ := resultPool.Get().(*Result)
+	if r == nil {
+		machinePoolNews.Add(1)
+		return &Result{FuncCycles: make(map[string]float64)}
 	}
-	st := m.acquireState(img)
-	defer m.releaseState(st)
-	// Initialise global memory.
+	r.Output = r.Output[:0]
+	clear(r.FuncCycles)
+	r.Cycles, r.Steps, r.Ret = 0, 0, Val{}
+	return r
+}
+
+// ReleaseResult returns r to the measurement result pool. The caller must
+// not retain r, r.Output or r.FuncCycles afterwards. nil is a no-op.
+func ReleaseResult(r *Result) {
+	if r == nil {
+		return
+	}
+	resultPool.Put(r)
+}
+
+// initGlobals writes every global's initial image into the shared memory
+// slab. Identical for both engines.
+func (st *runCore) initGlobals(img *Image) {
 	for _, mod := range img.Modules {
 		for _, g := range mod.Globals {
 			base := img.GlobalAddr[g]
@@ -279,8 +398,46 @@ func (m *Machine) Run(img *Image, entry string, args ...Val) (*Result, error) {
 			}
 		}
 	}
+}
+
+// icachePenalty applies the instruction-footprint penalty for a hot set of
+// the given static size. Identical for both engines.
+func (m *Machine) icachePenalty(cycles float64, hot int) float64 {
+	if hot > m.Prof.ICacheInstrs && m.Prof.ICacheInstrs > 0 {
+		over := math.Log2(float64(hot) / float64(m.Prof.ICacheInstrs))
+		cycles *= 1 + m.Prof.ICachePenalty*over
+	}
+	return cycles
+}
+
+// Run executes the named entry function with the given arguments and returns
+// the observable output and modelled cycle count. The bytecode engine is
+// used unless TreeWalk is set or the image cannot be lowered; both engines
+// produce bit-identical Results.
+func (m *Machine) Run(img *Image, entry string, args ...Val) (*Result, error) {
+	if !m.TreeWalk {
+		if prog := m.lowered(img); prog != nil {
+			return m.runBC(prog, img, entry, args)
+		}
+	}
+	return m.runTree(img, entry, args...)
+}
+
+// runTree is the original tree-walking interpreter.
+func (m *Machine) runTree(img *Image, entry string, args ...Val) (*Result, error) {
+	f, ok := img.Funcs[entry]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoFunction, entry)
+	}
+	res := acquireResult()
+	st := m.acquireState(img)
+	defer m.releaseState(st)
+	st.out = res.Output
+	st.initGlobals(img)
 	ret, err := st.call(f, args)
 	if err != nil {
+		res.Output = st.out
+		ReleaseResult(res)
 		return nil, err
 	}
 	// Instruction-footprint penalty over the functions actually executed.
@@ -288,16 +445,14 @@ func (m *Machine) Run(img *Image, entry string, args ...Val) (*Result, error) {
 	for fn := range st.called {
 		hot += img.funcSize[fn]
 	}
-	cycles := st.cycles
-	if hot > m.Prof.ICacheInstrs && m.Prof.ICacheInstrs > 0 {
-		over := math.Log2(float64(hot) / float64(m.Prof.ICacheInstrs))
-		cycles *= 1 + m.Prof.ICachePenalty*over
-	}
-	fc := make(map[string]float64, len(st.fcyc))
+	res.Output = st.out
+	res.Cycles = m.icachePenalty(st.cycles, hot)
+	res.Steps = st.steps
+	res.Ret = ret
 	for fn, c := range st.fcyc {
-		fc[fn.Name] = c
+		res.FuncCycles[fn.Name] = c
 	}
-	return &Result{Output: st.out, Cycles: cycles, Steps: st.steps, Ret: ret, FuncCycles: fc}, nil
+	return res, nil
 }
 
 func (st *execState) callInner(f *ir.Function, args []Val) (Val, error) {
@@ -761,7 +916,7 @@ func castVal(op ir.Op, from, to ir.Type, v Val) Val {
 }
 
 // load reads a scalar or vector of type ty starting at addr.
-func (st *execState) load(addr int64, ty ir.Type) (Val, error) {
+func (st *runCore) load(addr int64, ty ir.Type) (Val, error) {
 	n := int64(max(1, ty.Lanes))
 	if addr < 0 || addr+n > int64(len(st.mem)) {
 		return Val{}, ErrSegfault
@@ -785,7 +940,7 @@ func (st *execState) load(addr int64, ty ir.Type) (Val, error) {
 }
 
 // store writes a scalar or vector of type ty starting at addr.
-func (st *execState) store(addr int64, ty ir.Type, v Val) error {
+func (st *runCore) store(addr int64, ty ir.Type, v Val) error {
 	n := int64(max(1, ty.Lanes))
 	if addr < 0 || addr+n > int64(len(st.mem)) {
 		return ErrSegfault
@@ -813,41 +968,52 @@ func (st *execState) store(addr int64, ty ir.Type, v Val) error {
 const dcacheWays = 4
 
 // chargeMem models the data cache: 4-way set associative with LRU
-// replacement, line granularity.
-func (st *execState) chargeMem(addr, n int64, isLoad bool) {
-	p := &st.m.Prof
-	lineElt := int64(p.DCacheLineElt)
-	sets := int64(p.DCacheLines / dcacheWays)
-	first := addr / lineElt
-	last := (addr + n - 1) / lineElt
+// replacement, line granularity. This is the hottest function in both
+// engines, so the way scan is unrolled and the geometry math uses the
+// shift/mask constants from prepMemModel; the cycle charges are added in
+// exactly the order the straightforward loop would, so results stay
+// bit-identical.
+func (st *runCore) chargeMem(addr, n int64, isLoad bool) {
+	first := addr >> st.lineShift
+	last := (addr + n - 1) >> st.lineShift
 	for ln := first; ln <= last; ln++ {
-		set := (ln & (sets - 1)) * dcacheWays
-		ways := st.dtags[set : set+dcacheWays]
-		hit := false
-		for w, tag := range ways {
-			if tag == ln {
-				hit = true
-				// Move to MRU position.
-				copy(ways[1:w+1], ways[:w])
-				ways[0] = ln
-				break
-			}
-		}
-		if !hit {
-			copy(ways[1:], ways[:dcacheWays-1])
+		set := (ln & st.setMask) * dcacheWays
+		ways := st.dtags[set : set+dcacheWays : set+dcacheWays]
+		// Unrolled 4-way LRU: on hit shift the younger ways down and move the
+		// line to MRU; on miss evict the LRU way.
+		hit := true
+		switch ln {
+		case ways[0]:
+			// Already MRU.
+		case ways[1]:
+			ways[1] = ways[0]
+			ways[0] = ln
+		case ways[2]:
+			ways[2] = ways[1]
+			ways[1] = ways[0]
+			ways[0] = ln
+		case ways[3]:
+			ways[3] = ways[2]
+			ways[2] = ways[1]
+			ways[1] = ways[0]
+			ways[0] = ln
+		default:
+			hit = false
+			ways[3] = ways[2]
+			ways[2] = ways[1]
+			ways[1] = ways[0]
 			ways[0] = ln
 		}
 		if isLoad {
 			if hit {
-				// hit cost already included in opCost? No: charge here.
-				st.cycles += p.LoadHit
+				st.cycles += st.costLoadHit
 			} else {
-				st.cycles += p.LoadHit + p.LoadMiss
+				st.cycles += st.costLoadMiss
 			}
 		} else {
-			st.cycles += p.Store
+			st.cycles += st.costStore
 			if !hit {
-				st.cycles += p.LoadMiss / 2 // write-allocate fill
+				st.cycles += st.costStoreFill
 			}
 		}
 	}
@@ -871,7 +1037,7 @@ func (st *execState) chargeBranch(in *ir.Instr, taken bool) {
 }
 
 // builtin executes a runtime-provided function.
-func (st *execState) builtin(name string, args []Val) (Val, error) {
+func (st *runCore) builtin(name string, args []Val) (Val, error) {
 	p := &st.m.Prof
 	switch name {
 	case "sim.out.i64":
@@ -937,10 +1103,8 @@ func (st *execState) builtin(name string, args []Val) (Val, error) {
 		st.cycles++
 		addr := args[0].I
 		if addr >= 0 && addr < int64(len(st.mem)) {
-			lineElt := int64(p.DCacheLineElt)
-			sets := int64(p.DCacheLines / dcacheWays)
-			ln := addr / lineElt
-			set := (ln & (sets - 1)) * dcacheWays
+			ln := addr >> st.lineShift
+			set := (ln & st.setMask) * dcacheWays
 			ways := st.dtags[set : set+dcacheWays]
 			found := false
 			for _, tag := range ways {

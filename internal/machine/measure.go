@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -49,34 +50,80 @@ func (ms *Measurement) TimeOnce(img *Image, entry string, args ...Val) (float64,
 	return t, res, nil
 }
 
+// medScratch is the per-TimeMedian working set (result pointers, noisy
+// samples, sort order), pooled so repeated measurements of the same
+// candidate stream allocate nothing.
+type medScratch struct {
+	results []*Result
+	samples []float64
+	order   []int
+}
+
+var medPool sync.Pool
+
+func acquireMedScratch(runs int) *medScratch {
+	machinePoolGets.Add(1)
+	sc, _ := medPool.Get().(*medScratch)
+	if sc == nil {
+		machinePoolNews.Add(1)
+		sc = &medScratch{}
+	}
+	if cap(sc.results) < runs {
+		sc.results = make([]*Result, runs)
+		sc.samples = make([]float64, runs)
+		sc.order = make([]int, runs)
+	}
+	sc.results = sc.results[:runs]
+	sc.samples = sc.samples[:runs]
+	sc.order = sc.order[:runs]
+	return sc
+}
+
+func releaseMedScratch(sc *medScratch) {
+	for i := range sc.results {
+		sc.results[i] = nil
+	}
+	medPool.Put(sc)
+}
+
 // TimeMedian runs entry `runs` times and returns the median of the noisy
 // samples, following the paper's repeated-measurement protocol. The returned
 // *Result is the one from the median run (the lower-middle sample for even
 // run counts), so callers inspecting outputs or cycle breakdowns see the run
-// whose timing was reported — not whichever run happened to finish last.
+// whose timing was reported — not whichever run happened to finish last. The
+// non-median results are returned to the result pool; the caller owns only
+// the returned one (release it with ReleaseResult when done).
 func (ms *Measurement) TimeMedian(img *Image, entry string, runs int, args ...Val) (float64, *Result, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	results := make([]*Result, runs)
-	samples := make([]float64, runs)
+	sc := acquireMedScratch(runs)
+	defer releaseMedScratch(sc)
 	for i := 0; i < runs; i++ {
 		t, r, err := ms.TimeOnce(img, entry, args...)
 		if err != nil {
+			for j := 0; j < i; j++ {
+				ReleaseResult(sc.results[j])
+			}
 			return 0, nil, err
 		}
-		samples[i] = t
-		results[i] = r
+		sc.samples[i] = t
+		sc.results[i] = r
 	}
-	med, idx := medianIndex(samples)
-	return med, results[idx], nil
+	med, idx := medianIndex(sc.samples, sc.order)
+	for i, r := range sc.results {
+		if i != idx {
+			ReleaseResult(r)
+		}
+	}
+	return med, sc.results[idx], nil
 }
 
 // medianIndex returns the median of v (mean of the two middle samples for
 // even lengths) and the index in v of the middle sample (the lower middle
-// for even lengths). v is not modified.
-func medianIndex(v []float64) (float64, int) {
-	order := make([]int, len(v))
+// for even lengths). v is not modified; order is caller-provided scratch of
+// the same length.
+func medianIndex(v []float64, order []int) (float64, int) {
 	for i := range order {
 		order[i] = i
 	}

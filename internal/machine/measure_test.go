@@ -18,7 +18,7 @@ func TestMedianIndex(t *testing.T) {
 		{[]float64{5, 4, 3, 2, 1}, 3, 2, "descending"},
 	}
 	for _, c := range cases {
-		med, idx := medianIndex(c.v)
+		med, idx := medianIndex(c.v, make([]int, len(c.v)))
 		if med != c.med || idx != c.idx {
 			t.Fatalf("%s: medianIndex(%v) = (%v, %d), want (%v, %d)",
 				c.name, c.v, med, idx, c.med, c.idx)
@@ -26,7 +26,7 @@ func TestMedianIndex(t *testing.T) {
 	}
 	// The input must not be reordered.
 	v := []float64{3, 1, 2}
-	medianIndex(v)
+	medianIndex(v, make([]int, len(v)))
 	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
 		t.Fatalf("input mutated: %v", v)
 	}
@@ -54,7 +54,7 @@ func TestTimeMedianReturnsMedianRun(t *testing.T) {
 		}
 		samples[i] = s
 	}
-	wantMed, _ := medianIndex(samples)
+	wantMed, _ := medianIndex(samples, make([]int, len(samples)))
 
 	ms := NewMeasurement(New(CortexA57()), 0.02, 99)
 	med, res, err := ms.TimeMedian(img, "main", runs)

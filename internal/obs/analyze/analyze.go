@@ -152,6 +152,16 @@ type CacheReport struct {
 	CowShared       int `json:"cow_shared"`
 	CowMaterialized int `json:"cow_materialized"`
 
+	// Bytecode measurement-engine counters from bc-stats events: functions
+	// lowered, bytecode bytes produced, superinstruction fusion sites and
+	// executions, and lowered-code cache hits/misses.
+	BcLoweredFuncs  int64 `json:"bc_lowered_funcs"`
+	BcBytecodeBytes int64 `json:"bc_bytecode_bytes"`
+	BcFusedSites    int64 `json:"bc_fused_sites"`
+	BcSuperHits     int64 `json:"bc_super_hits"`
+	BcCodeHits      int64 `json:"bc_code_hits"`
+	BcCodeMisses    int64 `json:"bc_code_misses"`
+
 	// EnvPools holds the final process-global pool/arena counters from the
 	// cow-stats event's env_-prefixed fields (sync.Pool gets/news, slab
 	// clone totals), when the journal retains them. Canonicalised journals
@@ -376,6 +386,13 @@ func (a *Analyzer) Feed(e *obs.Event) {
 				r.Cache.EnvPools[env] = uint64(fieldFloat(f, k))
 			}
 		}
+	case "bc-stats":
+		r.Cache.BcLoweredFuncs = int64(fieldFloat(f, "lowered_funcs"))
+		r.Cache.BcBytecodeBytes = int64(fieldFloat(f, "bytecode_bytes"))
+		r.Cache.BcFusedSites = int64(fieldFloat(f, "fused_sites"))
+		r.Cache.BcSuperHits = int64(fieldFloat(f, "super_hits"))
+		r.Cache.BcCodeHits = int64(fieldFloat(f, "code_hits"))
+		r.Cache.BcCodeMisses = int64(fieldFloat(f, "code_misses"))
 	case "gp-stats":
 		r.Cache.GPFits = int(fieldFloat(f, "fits"))
 		r.Cache.GPAppends = int(fieldFloat(f, "appends"))

@@ -52,6 +52,11 @@ func WriteReport(w io.Writer, r *Report) {
 		fmt.Fprintf(w, "  cow clones: %d handed out / %d materialized (%.1f%% stayed shared)\n",
 			c.CowShared, c.CowMaterialized, 100*c.CowShareRate())
 	}
+	if c.BcLoweredFuncs > 0 || c.BcCodeMisses > 0 {
+		fmt.Fprintf(w, "  bytecode engine: %d funcs lowered (%d bytes, %d fused sites), %d superinstruction hits, code cache %d hits / %d misses\n",
+			c.BcLoweredFuncs, c.BcBytecodeBytes, c.BcFusedSites,
+			c.BcSuperHits, c.BcCodeHits, c.BcCodeMisses)
+	}
 	if len(c.EnvPools) > 0 {
 		keys := make([]string, 0, len(c.EnvPools))
 		for k := range c.EnvPools {

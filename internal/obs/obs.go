@@ -448,6 +448,24 @@ func (r *Recorder) CowStats(parent int64, shared, materialized int, env map[stri
 	r.emit("cow-stats", -1, parent, f)
 }
 
+// BcStats records cumulative bytecode measurement-engine accounting at a
+// serial synchronisation point (after a measurement): functions lowered to
+// bytecode, bytecode bytes produced, superinstruction fusion sites emitted,
+// superinstruction executions, and lowered-code cache hits/misses. Lowering
+// and execution happen on the serial measurement path, so all six are
+// deterministic functions of the evaluated workload and safe for canonical
+// journal fields.
+func (r *Recorder) BcStats(parent, loweredFuncs, bytecodeBytes, fusedSites, superHits, codeHits, codeMisses int64) {
+	if r == nil {
+		return
+	}
+	r.emit("bc-stats", -1, parent, map[string]any{
+		"lowered_funcs": loweredFuncs, "bytecode_bytes": bytecodeBytes,
+		"fused_sites": fusedSites, "super_hits": superHits,
+		"code_hits": codeHits, "code_misses": codeMisses,
+	})
+}
+
 // PlannerBuild records one statistics-connectivity planner construction: the
 // module probed, the interaction graph's active node and positive-weight edge
 // counts, how many compile-only prefix probes fed it, and the length of the

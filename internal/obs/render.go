@@ -102,6 +102,13 @@ var renderers = map[string]func(w io.Writer, e *Event){
 		fmt.Fprintf(w, "  cow: %d shared clones / %d materialized\n",
 			fieldInt(f, "shared"), fieldInt(f, "materialized"))
 	},
+	"bc-stats": func(w io.Writer, e *Event) {
+		f := e.Fields
+		fmt.Fprintf(w, "  bc: %d funcs lowered (%d bytes, %d fused sites), %d super hits, code cache %d/%d\n",
+			fieldInt64(f, "lowered_funcs"), fieldInt64(f, "bytecode_bytes"),
+			fieldInt64(f, "fused_sites"), fieldInt64(f, "super_hits"),
+			fieldInt64(f, "code_hits"), fieldInt64(f, "code_misses"))
+	},
 	"planner-build": func(w io.Writer, e *Event) {
 		f := e.Fields
 		fmt.Fprintf(w, "  planner: module %-14s %d nodes, %d edges (%d probes) -> %d-pass plan\n",

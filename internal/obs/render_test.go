@@ -22,6 +22,7 @@ func emitAll(r *Recorder) (emitterMethods int) {
 	r.CacheStats(iter, 4, 6)
 	r.PrefixCache(iter, 100, 40, 1<<20, 2)
 	r.CowStats(iter, 50, 12, map[string]uint64{"machine_pool_gets": 7})
+	r.BcStats(iter, 9, 5000, 14, 120000, 40, 3)
 	r.PlannerBuild(run, "m", 30, 200, 5, 18, time.Millisecond)
 	r.FleetIncident(iter, "retry", "r1", "m", 2)
 	r.NewIncumbent(iter, "m", 3, 1.3)
